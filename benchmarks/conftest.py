@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+series (text table + ASCII plot) so `pytest benchmarks/ --benchmark-only -s`
+doubles as the reproduction report. Scale is controlled by the
+REPRO_BENCH_FIDELITY environment variable: `smoke`, `bench` (default), or
+`paper` (the published 50,000-transaction, 5-replication runs — slow).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.config import Fidelity
+
+
+@pytest.fixture(scope="session")
+def fidelity():
+    name = os.environ.get("REPRO_BENCH_FIDELITY", "bench").upper()
+    return Fidelity[name]
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects the rendered figures; printed at the end of the session."""
+    blocks = []
+    yield blocks
+    if blocks:
+        print("\n\n" + "\n\n".join(blocks))
+
+
+def emit(report, *blocks):
+    text = "\n".join(blocks)
+    report.append(text)
+    print("\n" + text)

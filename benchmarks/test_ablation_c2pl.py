@@ -1,0 +1,59 @@
+"""Ablation A5: comparing against a caching protocol (paper's future work).
+
+c-2PL (caching 2PL with server callbacks) against s-2PL and g-2PL. The
+classic result this reproduces: client caching pays off when reads
+dominate and re-reference is high (read-only, hot data), but under update
+contention the callback traffic makes it worse than plain s-2PL — and
+g-2PL keeps its lead in the update range.
+"""
+
+from repro import SimulationConfig, run_replications
+
+from conftest import emit
+
+SEED = 33
+READ_PROBABILITIES = (0.25, 0.6, 0.9, 1.0)
+PROTOCOLS = ("s2pl", "c2pl", "g2pl")
+
+
+def run_ablation(fidelity):
+    config = SimulationConfig(
+        network_latency=500.0,
+        total_transactions=fidelity.transactions,
+        warmup_transactions=fidelity.warmup, record_history=False)
+    rows = []
+    for pr in READ_PROBABILITIES:
+        cell = {}
+        for protocol in PROTOCOLS:
+            cell[protocol] = run_replications(
+                config.replace(protocol=protocol, read_probability=pr),
+                replications=fidelity.replications, base_seed=SEED)
+        rows.append((pr, cell))
+    return rows
+
+
+def test_ablation_c2pl(benchmark, report, fidelity):
+    rows = benchmark.pedantic(run_ablation, args=(fidelity,),
+                              rounds=1, iterations=1)
+    header = "  ".join(f"{p:>12}" for p in PROTOCOLS)
+    lines = ["Ablation A5: caching 2PL vs s-2PL vs g-2PL "
+             "(s-WAN, 50 clients)",
+             f"  {'pr':>4}  {header}"]
+    cells = dict(rows)
+    for pr, cell in rows:
+        values = "  ".join(
+            f"{cell[p].mean_response_time:12,.0f}" for p in PROTOCOLS)
+        lines.append(f"  {pr:>4}  {values}")
+    lines.append("expected: c-2PL wins read-only (cache hits), loses "
+                 "under update contention (callbacks); g-2PL leads the "
+                 "update range")
+    emit(report, *lines)
+    # Caching wins read-only.
+    assert (cells[1.0]["c2pl"].mean_response_time
+            < cells[1.0]["s2pl"].mean_response_time)
+    # g-2PL leads at update-heavy workloads.
+    for pr in (0.25, 0.6):
+        assert (cells[pr]["g2pl"].mean_response_time
+                < cells[pr]["s2pl"].mean_response_time)
+        assert (cells[pr]["g2pl"].mean_response_time
+                < cells[pr]["c2pl"].mean_response_time)

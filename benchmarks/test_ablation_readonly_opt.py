@@ -1,0 +1,58 @@
+"""Ablation A4: the read-only forward-list expansion at high read shares.
+
+The paper's future work (§6): apply the read-only optimization so g-2PL
+stops penalizing reads. Measured: `g2pl-ro` recovers s-2PL's read-only
+response (grafted readers never wait for windows) and removes the read
+deadlocks, while keeping the grouping wins for update transactions.
+"""
+
+from repro import SimulationConfig, run_replications
+
+from conftest import emit
+
+SEED = 33
+READ_PROBABILITIES = (0.6, 0.8, 0.9, 1.0)
+
+
+def run_ablation(fidelity):
+    config = SimulationConfig(
+        network_latency=500.0,
+        total_transactions=fidelity.transactions,
+        warmup_transactions=fidelity.warmup, record_history=False)
+    rows = []
+    for pr in READ_PROBABILITIES:
+        cell = {}
+        for protocol in ("s2pl", "g2pl", "g2pl-ro"):
+            cell[protocol] = run_replications(
+                config.replace(protocol=protocol, read_probability=pr),
+                replications=fidelity.replications, base_seed=SEED)
+        rows.append((pr, cell))
+    return rows
+
+
+def test_ablation_readonly_optimization(benchmark, report, fidelity):
+    rows = benchmark.pedantic(run_ablation, args=(fidelity,),
+                              rounds=1, iterations=1)
+    lines = ["Ablation A4: read-only FL expansion (s-WAN, 50 clients)",
+             f"  {'pr':>4}  {'s2pl':>12}  {'g2pl':>12}  {'g2pl-ro':>12}"]
+    cells = dict(rows)
+    for pr, cell in rows:
+        lines.append(
+            f"  {pr:>4}  "
+            f"{cell['s2pl'].mean_response_time:12,.0f}  "
+            f"{cell['g2pl'].mean_response_time:12,.0f}  "
+            f"{cell['g2pl-ro'].mean_response_time:12,.0f}")
+    lines.append("expected: g2pl-ro matches s-2PL at pr=1.0 and beats "
+                 "basic g-2PL at high pr")
+    emit(report, *lines)
+    at_10 = cells[1.0]
+    # With every read grafted, read-only behaviour equals s-2PL's.
+    assert (abs(at_10["g2pl-ro"].mean_response_time
+                - at_10["s2pl"].mean_response_time)
+            < 0.05 * at_10["s2pl"].mean_response_time)
+    assert (at_10["g2pl-ro"].mean_response_time
+            < at_10["g2pl"].mean_response_time)
+    # At pr=0.8/0.9 the optimization beats basic g-2PL too.
+    for pr in (0.8, 0.9):
+        assert (cells[pr]["g2pl-ro"].mean_response_time
+                < cells[pr]["g2pl"].mean_response_time)

@@ -1,0 +1,76 @@
+"""Figures 2-4 (and 8): mean response time vs network latency.
+
+Paper claims reproduced here:
+* pr < 1.0 — g-2PL outperforms s-2PL over the entire latency range, with
+  a 19.5%-26.9% response-time improvement in the presence of updates
+  (Figures 2-3), and the flatter slope demonstrates its WAN scalability.
+* pr = 1.0 — s-2PL is better (g-2PL grants only at window ends, so reads
+  are penalized; Figure 4).
+"""
+
+from repro.analysis import ascii_plot, render_experiment
+from repro.core.experiments import latency_sweep_experiment
+
+from conftest import emit
+
+SEED = 101
+
+
+def run_sweep(read_probability, fidelity):
+    return latency_sweep_experiment(read_probability, fidelity=fidelity,
+                                    seed=SEED)
+
+
+def test_fig02_pr00_all_writes(benchmark, report, fidelity):
+    results = benchmark.pedantic(run_sweep, args=(0.0, fidelity),
+                                 rounds=1, iterations=1)
+    response = results["response"]
+    emit(report,
+         "Figure 2 " + "=" * 50,
+         render_experiment(response, improvement_between=("s2pl", "g2pl")),
+         ascii_plot(response),
+         "paper: g-2PL below s-2PL over the whole range, ~20-25% better")
+    for latency in response.series["s2pl"].xs:
+        assert response.improvement_at(latency) > 0, latency
+    wan_improvements = [response.improvement_at(x)
+                        for x in (250.0, 500.0, 750.0)]
+    assert all(imp > 8.0 for imp in wan_improvements)
+
+
+def test_fig03_fig08_pr06(benchmark, report, fidelity):
+    results = benchmark.pedantic(run_sweep, args=(0.6, fidelity),
+                                 rounds=1, iterations=1)
+    response, aborts = results["response"], results["aborts"]
+    emit(report,
+         "Figure 3 " + "=" * 50,
+         render_experiment(response, improvement_between=("s2pl", "g2pl")),
+         ascii_plot(response),
+         "paper: g-2PL better across the range (19.5%-26.9% improvement)",
+         "",
+         "Figure 8 " + "=" * 50,
+         render_experiment(aborts),
+         "paper: abort percentages of the two protocols fairly close "
+         "(37.5-41.5%), roughly flat in latency")
+    for latency in response.series["s2pl"].xs:
+        assert response.improvement_at(latency) > 0, latency
+    # Abort percentages are "fairly close": within 15 points everywhere.
+    for s_ab, g_ab in zip(aborts.series["s2pl"].ys,
+                          aborts.series["g2pl"].ys):
+        assert abs(s_ab - g_ab) < 15.0
+    # And flat across WAN latencies (paper: "stays fairly constant").
+    g_wan = [aborts.series["g2pl"].y_at(x) for x in (250.0, 500.0, 750.0)]
+    assert max(g_wan) - min(g_wan) < 10.0
+
+
+def test_fig04_pr10_read_only(benchmark, report, fidelity):
+    results = benchmark.pedantic(run_sweep, args=(1.0, fidelity),
+                                 rounds=1, iterations=1)
+    response = results["response"]
+    emit(report,
+         "Figure 4 " + "=" * 50,
+         render_experiment(response, improvement_between=("s2pl", "g2pl")),
+         ascii_plot(response),
+         "paper: only here (read-only) is s-2PL better — g-2PL grants "
+         "only at window ends, penalizing reads")
+    for latency in response.series["s2pl"].xs:
+        assert response.improvement_at(latency) < 0, latency

@@ -1,0 +1,60 @@
+"""Figures 5-7: mean response time vs read probability, three networks.
+
+Paper claims reproduced here: at low read probabilities g-2PL wins by
+grouping requests; only near pr=1.0 does s-2PL win; the crossover sits
+around 0.85 in the ss-LAN and moves toward higher read probabilities at
+higher latencies.
+"""
+
+from repro.analysis import ascii_plot, find_crossover, render_experiment
+from repro.core.experiments import figure_response_vs_read_probability
+from repro.network.presets import NetworkEnvironment
+
+from conftest import emit
+
+SEED = 101
+
+
+def run_figure(environment, fidelity):
+    return figure_response_vs_read_probability(environment,
+                                               fidelity=fidelity, seed=SEED)
+
+
+def check_and_emit(report, figure_number, result, environment):
+    crossover = find_crossover(result)
+    emit(report,
+         f"Figure {figure_number} " + "=" * 50,
+         render_experiment(result, improvement_between=("s2pl", "g2pl")),
+         ascii_plot(result),
+         f"measured crossover read probability: "
+         f"{crossover if crossover is None else round(crossover, 3)} "
+         f"(paper: ~0.85 at latency 1, moving right with latency)")
+    # g-2PL wins at low read probabilities...
+    for pr in (0.0, 0.2, 0.4, 0.6):
+        assert result.improvement_at(pr) > 0, (environment, pr)
+    # ...and s-2PL wins at read-only.
+    assert result.improvement_at(1.0) < 0
+    assert crossover is not None
+    assert 0.6 < crossover < 1.0
+    return crossover
+
+
+def test_fig05_ss_lan(benchmark, report, fidelity):
+    result = benchmark.pedantic(
+        run_figure, args=(NetworkEnvironment.SS_LAN, fidelity),
+        rounds=1, iterations=1)
+    check_and_emit(report, 5, result, "ss-LAN")
+
+
+def test_fig06_man(benchmark, report, fidelity):
+    result = benchmark.pedantic(
+        run_figure, args=(NetworkEnvironment.MAN, fidelity),
+        rounds=1, iterations=1)
+    check_and_emit(report, 6, result, "MAN")
+
+
+def test_fig07_l_wan(benchmark, report, fidelity):
+    result = benchmark.pedantic(
+        run_figure, args=(NetworkEnvironment.L_WAN, fidelity),
+        rounds=1, iterations=1)
+    check_and_emit(report, 7, result, "l-WAN")

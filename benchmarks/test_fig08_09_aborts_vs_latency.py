@@ -1,0 +1,41 @@
+"""Figure 9 (Figure 8 rides the pr=0.6 sweep in test_fig02_04): percentage
+of transactions aborted vs latency at pr=0.8.
+
+Paper claims reproduced here: abort percentages of the two protocols are
+in the same band, decrease as the read probability grows (compare with
+Figure 8's pr=0.6 levels), and are roughly flat above the single-segment
+LAN. Deviation recorded in EXPERIMENTS.md: in this reproduction basic
+g-2PL aborts *more* than s-2PL at high read probabilities, because
+window-serialised reads wait for each other (read-read wait edges) while
+s-2PL readers share locks; the paper's read-only optimization (`g2pl-ro`)
+closes most of that gap.
+"""
+
+from repro.analysis import ascii_plot, render_experiment
+from repro.core.experiments import latency_sweep_experiment
+
+from conftest import emit
+
+SEED = 101
+
+
+def test_fig09_pr08(benchmark, report, fidelity):
+    results = benchmark.pedantic(
+        latency_sweep_experiment,
+        kwargs=dict(read_probability=0.8, fidelity=fidelity, seed=SEED),
+        rounds=1, iterations=1)
+    aborts = results["aborts"]
+    emit(report,
+         "Figure 9 " + "=" * 50,
+         render_experiment(aborts),
+         ascii_plot(aborts),
+         "paper: ~19.5-22.5%, flat above ss-LAN, g-2PL slightly lower; "
+         "measured: same flatness, but basic g-2PL sits above s-2PL here "
+         "(read-read window waits; see EXPERIMENTS.md)")
+    s_series = aborts.series["s2pl"].ys
+    g_series = aborts.series["g2pl"].ys
+    # Lower absolute levels than the pr=0.6 sweep (aborts fall with pr)...
+    assert max(s_series) < 45.0
+    # ...and flat across WAN latencies for both protocols.
+    assert max(s_series[2:]) - min(s_series[2:]) < 10.0
+    assert max(g_series[2:]) - min(g_series[2:]) < 10.0

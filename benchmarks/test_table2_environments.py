@@ -1,0 +1,15 @@
+"""Table 2: networking environments simulated."""
+
+from repro.analysis import render_pairs
+from repro.core.experiments import table2_environments
+
+from conftest import emit
+
+
+def test_table2_environments(benchmark, report):
+    rows = benchmark(table2_environments)
+    emit(report, render_pairs("Table 2: Networking Environments (latency "
+                              "in simulation time units)", rows))
+    latencies = {name: latency for _desc, name, latency in rows}
+    assert latencies == {"SS_LAN": 1.0, "MS_LAN": 50.0, "CAN": 100.0,
+                         "MAN": 250.0, "S_WAN": 500.0, "L_WAN": 750.0}

@@ -1,0 +1,8 @@
+"""Result analysis and rendering: text tables, ASCII plots, crossovers."""
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.crossover import find_crossover
+from repro.analysis.tables import render_experiment, render_pairs
+
+__all__ = ["ascii_plot", "find_crossover", "render_experiment",
+           "render_pairs"]

@@ -1,0 +1,41 @@
+"""Minimal ASCII line plots for experiment series (bench output)."""
+
+
+_MARKERS = "*x+o#@"
+
+
+def ascii_plot(result, width=64, height=16):
+    """Plot every series of an ExperimentResult on one ASCII canvas.
+
+    X positions follow the index of each x value (the paper's figures are
+    effectively categorical sweeps); y is scaled to the global extent.
+    """
+    names = list(result.series)
+    all_ys = [y for name in names for y in result.series[name].ys]
+    if not all_ys:
+        return "(empty experiment)"
+    y_max = max(all_ys) or 1.0
+    y_min = min(0.0, min(all_ys))
+    span = (y_max - y_min) or 1.0
+    n_points = len(result.series[names[0]].xs)
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, name in enumerate(names):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        series = result.series[name]
+        for point_index, y in enumerate(series.ys):
+            col = (0 if n_points == 1 else
+                   round(point_index * (width - 1) / (n_points - 1)))
+            row = height - 1 - round((y - y_min) / span * (height - 1))
+            grid[row][col] = marker
+    lines = [result.title]
+    lines.append(f"y: {result.y_label}  (max {y_max:,.1f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    xs = result.series[names[0]].xs
+    lines.append(f"x: {result.x_label}: "
+                 + " ".join(f"{x:g}" for x in xs))
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={name}"
+                       for i, name in enumerate(names))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Locating the crossover point between two series (Figures 5-7)."""
+
+
+def find_crossover(result, first="s2pl", second="g2pl"):
+    """The x at which ``second`` stops beating ``first``.
+
+    Scans the difference ``first - second`` and linearly interpolates the
+    sign change. Returns None if one protocol dominates everywhere.
+    """
+    a = result.series[first]
+    b = result.series[second]
+    diffs = [ya - yb for ya, yb in zip(a.ys, b.ys)]
+    for index in range(len(diffs) - 1):
+        left, right = diffs[index], diffs[index + 1]
+        if left == 0:
+            return a.xs[index]
+        if (left > 0) != (right > 0):
+            x_left, x_right = a.xs[index], a.xs[index + 1]
+            fraction = left / (left - right)
+            return x_left + fraction * (x_right - x_left)
+    return None

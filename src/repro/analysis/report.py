@@ -1,0 +1,107 @@
+"""One-shot reproduction report: every figure and table as markdown.
+
+Used by ``scripts/reproduce_all.py`` to regenerate the material behind
+EXPERIMENTS.md at any fidelity.
+"""
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.crossover import find_crossover
+from repro.analysis.tables import render_experiment, render_pairs
+from repro.core import experiments as exp
+from repro.core.worked_example import run_worked_example
+from repro.network.presets import NetworkEnvironment
+
+
+def _block(title, body):
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(fidelity="bench", seed=101, include_plots=True,
+                    quick=False):
+    """Run the full figure suite; returns a markdown string.
+
+    ``quick`` shrinks every sweep to its endpoints (for tests and smoke
+    checks of the reporting pipeline itself).
+    """
+    latencies = (1.0, 750.0) if quick else None
+    read_probabilities = (0.0, 1.0) if quick else None
+    clients = (10, 50) if quick else None
+    sections = []
+
+    def kw(**kwargs):
+        return {k: v for k, v in kwargs.items() if v is not None}
+
+    def render(result, improvement=True):
+        parts = [render_experiment(
+            result,
+            improvement_between=("s2pl", "g2pl") if improvement
+            and "s2pl" in result.series and "g2pl" in result.series
+            else None)]
+        if include_plots:
+            parts.append(ascii_plot(result))
+        return "\n\n".join(parts)
+
+    sections.append(_block(
+        "Table 1 — Simulation parameters",
+        render_pairs("", exp.table1_parameters())))
+    sections.append(_block(
+        "Table 2 — Networking environments",
+        render_pairs("", exp.table2_environments())))
+    sections.append(_block(
+        "Figure 1 — Worked example", str(run_worked_example())))
+
+    for pr in (0.0, 0.6, 1.0):
+        results = exp.latency_sweep_experiment(
+            pr, fidelity=fidelity, seed=seed, **kw(latencies=latencies))
+        figure = {0.0: 2, 0.6: 3, 1.0: 4}[pr]
+        sections.append(_block(
+            f"Figure {figure} — response vs latency (pr={pr:g})",
+            render(results["response"])))
+        if pr == 0.6:
+            sections.append(_block(
+                "Figure 8 — aborts vs latency (pr=0.6)",
+                render(results["aborts"], improvement=False)))
+
+    for figure, env in ((5, NetworkEnvironment.SS_LAN),
+                        (6, NetworkEnvironment.MAN),
+                        (7, NetworkEnvironment.L_WAN)):
+        result = exp.figure_response_vs_read_probability(
+            env, fidelity=fidelity, seed=seed,
+            **kw(read_probabilities=read_probabilities))
+        crossover = find_crossover(result)
+        body = render(result)
+        body += (f"\n\nmeasured crossover: "
+                 f"{crossover if crossover is None else round(crossover, 3)}")
+        sections.append(_block(
+            f"Figure {figure} — response vs read probability "
+            f"({env.name})", body))
+
+    result = exp.figure_aborts_vs_latency(0.8, fidelity=fidelity, seed=seed,
+                                          **kw(latencies=latencies))
+    sections.append(_block("Figure 9 — aborts vs latency (pr=0.8)",
+                           render(result, improvement=False)))
+
+    sections.append(_block(
+        "Figure 10 — read-only deadlocks vs latency",
+        render(exp.figure_readonly_aborts_vs_latency(fidelity=fidelity,
+                                                     seed=seed),
+               improvement=False)))
+    sections.append(_block(
+        "Figure 11 — aborts vs forward-list length",
+        render(exp.figure_aborts_vs_fl_length(
+                   fidelity=fidelity, seed=seed,
+                   **kw(lengths=(1, 8) if quick else None)),
+               improvement=False)))
+
+    for pr, (fig_resp, fig_ab) in ((0.25, (12, 13)), (0.75, (14, 15))):
+        results = exp.clients_sweep_experiment(
+            pr, fidelity=fidelity, seed=seed, **kw(client_counts=clients))
+        sections.append(_block(
+            f"Figure {fig_resp} — response vs clients (pr={pr:g})",
+            render(results["response"])))
+        sections.append(_block(
+            f"Figure {fig_ab} — aborts vs clients (pr={pr:g})",
+            render(results["aborts"], improvement=False)))
+
+    header = (f"# Reproduction report (fidelity: {fidelity}, seed {seed})\n")
+    return header + "\n" + "\n".join(sections)

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment results."""
+
+
+def _format_value(value, half_width):
+    if half_width:
+        return f"{value:,.1f} ±{half_width:,.1f}"
+    return f"{value:,.1f}"
+
+
+def render_experiment(result, improvement_between=None):
+    """Render an :class:`ExperimentResult` as an aligned text table.
+
+    ``improvement_between=(baseline, contender)`` appends the paper-style
+    percentage-improvement column.
+    """
+    names = list(result.series)
+    headers = [result.x_label] + names
+    if improvement_between:
+        headers.append("improvement")
+    xs = result.series[names[0]].xs
+    rows = []
+    for index, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for name in names:
+            series = result.series[name]
+            row.append(_format_value(series.ys[index],
+                                     series.half_widths[index]))
+        if improvement_between:
+            baseline, contender = improvement_between
+            row.append(f"{result.improvement_at(x, baseline, contender):+.1f}%")
+        rows.append(row)
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = [result.title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_pairs(title, pairs):
+    """Render simple (name, value) rows — for Tables 1 and 2."""
+    width = max(len(str(name)) for name, *_ in pairs)
+    lines = [title]
+    for name, *rest in pairs:
+        lines.append(f"  {str(name).ljust(width)}  "
+                     + "  ".join(str(v) for v in rest))
+    return "\n".join(lines)

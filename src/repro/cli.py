@@ -1,0 +1,163 @@
+"""Command-line interface: run single experiments or whole figures.
+
+Installed as ``repro-experiment``. Examples::
+
+    repro-experiment run --protocol g2pl --clients 50 --pr 0.25 \
+        --latency 500 --transactions 1000
+    repro-experiment compare --pr 0.6 --latency 500
+    repro-experiment figure 3
+    repro-experiment figure 11 --fidelity smoke
+    repro-experiment list
+"""
+
+import argparse
+import sys
+
+from repro.core.config import Fidelity, SimulationConfig
+from repro.core.runner import (
+    compare_protocols,
+    improvement_percentage,
+    run_simulation,
+)
+from repro.protocols.registry import available_protocols
+
+
+def _add_workload_args(parser):
+    parser.add_argument("--clients", type=int, default=50)
+    parser.add_argument("--items", type=int, default=25)
+    parser.add_argument("--pr", type=float, default=0.6,
+                        help="read probability (Table 1)")
+    parser.add_argument("--latency", type=float, default=500.0)
+    parser.add_argument("--transactions", type=int, default=1000)
+    parser.add_argument("--warmup", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _config_from(args, protocol):
+    return SimulationConfig(
+        protocol=protocol, n_clients=args.clients, n_items=args.items,
+        read_probability=args.pr, network_latency=args.latency,
+        total_transactions=args.transactions,
+        warmup_transactions=args.warmup, seed=args.seed,
+        record_history=False)
+
+
+def _cmd_run(args):
+    result = run_simulation(_config_from(args, args.protocol))
+    print(result.summary())
+    print(f"  duration: {result.duration:,.0f} time units, "
+          f"throughput: {result.throughput:.5f} txn/unit")
+    for key, value in sorted(result.server_stats.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_compare(args):
+    config = _config_from(args, "g2pl")
+    results = compare_protocols(config, tuple(args.protocols),
+                                replications=args.replications)
+    for name, result in results.items():
+        print(f"  {name:10} {result.summary()}")
+    if "s2pl" in results and "g2pl" in results:
+        improvement = improvement_percentage(results["s2pl"],
+                                             results["g2pl"])
+        print(f"g-2PL improvement over s-2PL: {improvement:+.1f}% "
+              f"(paper: 19.5%-26.9% with updates)")
+    return 0
+
+
+def _cmd_figure(args):
+    from repro.analysis import ascii_plot, render_experiment
+    from repro.core import experiments as exp
+    from repro.core.worked_example import run_worked_example
+    from repro.network.presets import NetworkEnvironment
+
+    fidelity = Fidelity[args.fidelity.upper()]
+    number = args.number
+
+    def show(result, improvement=("s2pl", "g2pl")):
+        kwargs = {}
+        if improvement and all(p in result.series for p in improvement):
+            kwargs["improvement_between"] = improvement
+        print(render_experiment(result, **kwargs))
+        print()
+        print(ascii_plot(result))
+
+    if number == "1":
+        print(run_worked_example())
+    elif number in ("2", "3", "4"):
+        pr = {"2": 0.0, "3": 0.6, "4": 1.0}[number]
+        show(exp.figure_response_vs_latency(pr, fidelity=fidelity))
+    elif number in ("5", "6", "7"):
+        env = {"5": NetworkEnvironment.SS_LAN, "6": NetworkEnvironment.MAN,
+               "7": NetworkEnvironment.L_WAN}[number]
+        show(exp.figure_response_vs_read_probability(env, fidelity=fidelity))
+    elif number in ("8", "9"):
+        pr = {"8": 0.6, "9": 0.8}[number]
+        show(exp.figure_aborts_vs_latency(pr, fidelity=fidelity))
+    elif number == "10":
+        show(exp.figure_readonly_aborts_vs_latency(fidelity=fidelity),
+             improvement=None)
+    elif number == "11":
+        show(exp.figure_aborts_vs_fl_length(fidelity=fidelity),
+             improvement=None)
+    elif number in ("12", "13", "14", "15"):
+        pr = 0.25 if number in ("12", "13") else 0.75
+        metric = "response" if number in ("12", "14") else "aborts"
+        show(exp.figure_vs_clients(pr, metric, fidelity=fidelity))
+    else:
+        print(f"unknown figure {number!r}; choose 1-15", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_list(_args):
+    print("protocols:", ", ".join(available_protocols()))
+    print("figures: 1 (worked example), 2-4 (response vs latency), "
+          "5-7 (response vs read probability), 8-9 (aborts vs latency), "
+          "10 (read-only deadlocks), 11 (forward-list length), "
+          "12-15 (client scalability)")
+    print("fidelities:", ", ".join(f.label for f in Fidelity))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce the g-2PL vs s-2PL study (ICDE 1998)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument("--protocol", default="g2pl",
+                            choices=available_protocols())
+    _add_workload_args(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="race protocols on one workload")
+    compare_parser.add_argument("--protocols", nargs="+",
+                                default=["s2pl", "g2pl"],
+                                choices=available_protocols())
+    compare_parser.add_argument("--replications", type=int, default=2)
+    _add_workload_args(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    figure_parser = sub.add_parser("figure",
+                                   help="regenerate a paper figure")
+    figure_parser.add_argument("number", help="figure number, 1-15")
+    figure_parser.add_argument("--fidelity", default="bench",
+                               choices=[f.label for f in Fidelity])
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    list_parser = sub.add_parser("list", help="list protocols and figures")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

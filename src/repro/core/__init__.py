@@ -1,0 +1,23 @@
+"""The public high-level API: configure, run, replicate, compare."""
+
+from repro.core.config import Fidelity, SimulationConfig
+from repro.core.runner import (
+    ReplicatedResult,
+    SimulationResult,
+    compare_protocols,
+    run_replications,
+    run_simulation,
+)
+from repro.core.worked_example import WorkedExampleResult, run_worked_example
+
+__all__ = [
+    "Fidelity",
+    "ReplicatedResult",
+    "SimulationConfig",
+    "SimulationResult",
+    "WorkedExampleResult",
+    "compare_protocols",
+    "run_replications",
+    "run_simulation",
+    "run_worked_example",
+]

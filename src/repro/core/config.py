@@ -1,0 +1,125 @@
+"""Simulation configuration: every knob of the paper's system model."""
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Fidelity(enum.Enum):
+    """Run-length bundles (transactions per run, replications).
+
+    ``PAPER`` matches the published methodology (50,000 transactions per
+    run after the transient phase, 5 independent replications); ``BENCH``
+    is the default scale for the benchmark suite; ``SMOKE`` is for tests.
+    """
+
+    SMOKE = ("smoke", 300, 30, 1)
+    BENCH = ("bench", 1000, 100, 2)
+    PAPER = ("paper", 50_000, 5_000, 5)
+
+    def __init__(self, label, transactions, warmup, replications):
+        self.label = label
+        self.transactions = transactions
+        self.warmup = warmup
+        self.replications = replications
+
+
+@dataclass
+class SimulationConfig:
+    """All parameters of one simulation run (Table 1 defaults).
+
+    Workload (Table 1): ``n_clients`` identical clients, MPL 1, each
+    transaction accesses 1–5 distinct items out of 25 hot items, each
+    access is a read with probability ``read_probability``, think time
+    U(1,3) per operation, idle time U(2,10) between transactions.
+
+    Network: uniform latency between every pair of sites; transmission
+    delay negligible unless ``bandwidth`` is set (data units per time unit).
+    """
+
+    protocol: str = "g2pl"
+    n_clients: int = 50
+    n_items: int = 25
+    min_ops: int = 1
+    max_ops: int = 5
+    read_probability: float = 0.6
+    network_latency: float = 500.0
+    bandwidth: Optional[float] = None
+    think_min: float = 1.0
+    think_max: float = 3.0
+    idle_min: float = 2.0
+    idle_max: float = 10.0
+    data_item_size: float = 8.0
+    server_processing_time: float = 0.0
+    access_skew: float = 0.0  # 0 = paper's uniform access; >0 = Zipf-like
+    mpl: int = 1              # multiprogramming level per client (Table 1: 1)
+    # installed updates between server checkpoints; None = aggressive log
+    # truncation with no crash-recovery coverage (the paper's assumption)
+    checkpoint_interval: Optional[int] = None
+
+    # s-2PL options
+    victim_policy: str = "requester"  # or "youngest" / "oldest"
+
+    # g-2PL options
+    mr1w: bool = True
+    expand_read_groups: bool = False
+    max_forward_list_length: Optional[int] = None
+    fl_ordering: str = "fifo"  # or "reads_first" / "writes_first"
+
+    # c-2PL options
+    cache_capacity: Optional[int] = None  # None = unbounded client cache
+
+    # run control
+    total_transactions: int = 1500
+    warmup_transactions: int = 150
+    seed: int = 1
+    record_history: bool = True
+
+    def __post_init__(self):
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if self.n_items < 1:
+            raise ValueError("need at least one data item")
+        if not 0.0 <= self.read_probability <= 1.0:
+            raise ValueError("read_probability outside [0, 1]")
+        if self.network_latency < 0:
+            raise ValueError("negative network latency")
+        if self.warmup_transactions >= self.total_transactions:
+            raise ValueError(
+                "warmup_transactions must be below total_transactions")
+        if self.mpl < 1:
+            raise ValueError("mpl must be >= 1")
+
+    def replace(self, **changes):
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_fidelity(self, fidelity):
+        """A copy at the given :class:`Fidelity` run length."""
+        if isinstance(fidelity, str):
+            fidelity = Fidelity[fidelity.upper()]
+        return self.replace(total_transactions=fidelity.transactions,
+                            warmup_transactions=fidelity.warmup)
+
+    def workload_params(self):
+        from repro.workload.generator import WorkloadParams
+
+        return WorkloadParams(
+            n_items=self.n_items,
+            min_ops=self.min_ops,
+            max_ops=self.max_ops,
+            read_probability=self.read_probability,
+            think_min=self.think_min,
+            think_max=self.think_max,
+            idle_min=self.idle_min,
+            idle_max=self.idle_max,
+            access_skew=self.access_skew,
+        )
+
+    def describe(self):
+        """One-line summary for experiment logs."""
+        return (f"{self.protocol} clients={self.n_clients} "
+                f"items={self.n_items} pr={self.read_probability:g} "
+                f"latency={self.network_latency:g} "
+                f"txns={self.total_transactions}")

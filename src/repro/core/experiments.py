@@ -1,0 +1,306 @@
+"""The paper's experiments: one constructor per table/figure.
+
+Every figure in §5 is a sweep: run both protocols over an x-axis
+(network latency, read probability, forward-list length, or client count)
+with replications, and collect mean response time and abort percentage.
+:class:`ExperimentResult` holds the series; :mod:`repro.analysis` renders
+them; ``benchmarks/`` regenerates each one as a pytest-benchmark target.
+
+Scale: the paper ran 50,000 transactions x 5 replications per point on a
+1997 workstation (34 hours per run). The default scale here is chosen so
+the full figure suite finishes in minutes; pass ``fidelity="paper"`` for
+the published run lengths.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.config import Fidelity, SimulationConfig
+from repro.core.runner import run_replications
+from repro.network.presets import LATENCY_SWEEP, TABLE2_ENVIRONMENTS
+
+#: Read probabilities swept in Figures 5-7.
+READ_PROBABILITY_SWEEP = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                          0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Client counts swept in Figures 12-15 (the paper plots 0-150).
+CLIENT_SWEEP = (10, 25, 50, 75, 100, 150)
+
+
+@dataclass
+class ExperimentSeries:
+    """One curve: y (with CI half-widths) against the x-axis."""
+
+    name: str
+    xs: list = field(default_factory=list)
+    ys: list = field(default_factory=list)
+    half_widths: list = field(default_factory=list)
+
+    def add(self, x, ci):
+        self.xs.append(x)
+        self.ys.append(ci.mean)
+        self.half_widths.append(ci.half_width)
+
+    def y_at(self, x):
+        return self.ys[self.xs.index(x)]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure/table reproduction produced."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, ExperimentSeries] = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+
+    def series_for(self, name):
+        return self.series.setdefault(name, ExperimentSeries(name))
+
+    def improvement_at(self, x, baseline="s2pl", contender="g2pl"):
+        """Paper-style percentage improvement of contender over baseline."""
+        base = self.series[baseline].y_at(x)
+        new = self.series[contender].y_at(x)
+        return 100.0 * (base - new) / base if base else 0.0
+
+
+def _resolve_fidelity(fidelity):
+    if isinstance(fidelity, Fidelity):
+        return fidelity
+    return Fidelity[str(fidelity).upper()]
+
+
+def _base_config(fidelity, **overrides):
+    fid = _resolve_fidelity(fidelity)
+    defaults = dict(total_transactions=fid.transactions,
+                    warmup_transactions=fid.warmup,
+                    record_history=False)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults), fid.replications
+
+
+def sweep_both(experiment_ids, titles, x_label, base_config, replications,
+               xs, configure, protocols=("s2pl", "g2pl"), seed=1):
+    """Generic experiment driver, collecting both paper metrics per run.
+
+    ``configure(config, x)`` returns the config for one x-axis point.
+    Returns ``{"response": ExperimentResult, "aborts": ExperimentResult}``
+    built from the *same* simulation runs (mean transaction response time
+    and percentage of transactions aborted are two views of one sweep).
+    Identical seeds per replication index across protocols (common random
+    numbers).
+    """
+    results = {
+        "response": ExperimentResult(
+            experiment_id=experiment_ids.get("response", "?"),
+            title=titles.get("response", ""), x_label=x_label,
+            y_label="mean response time"),
+        "aborts": ExperimentResult(
+            experiment_id=experiment_ids.get("aborts", "?"),
+            title=titles.get("aborts", ""), x_label=x_label,
+            y_label="% transactions aborted"),
+    }
+    for protocol in protocols:
+        for x in xs:
+            config = configure(base_config.replace(protocol=protocol), x)
+            replicated = run_replications(config, replications=replications,
+                                          base_seed=seed)
+            results["response"].series_for(protocol).add(
+                x, replicated.response_time)
+            results["aborts"].series_for(protocol).add(
+                x, replicated.abort_percentage)
+    return results
+
+
+def sweep(experiment_id, title, x_label, y_label, base_config, replications,
+          xs, configure, protocols=("s2pl", "g2pl"), metric="response",
+          seed=1):
+    """Single-metric convenience wrapper over :func:`sweep_both`."""
+    results = sweep_both({metric: experiment_id}, {metric: title}, x_label,
+                         base_config, replications, xs, configure,
+                         protocols=protocols, seed=seed)
+    result = results[metric]
+    result.y_label = y_label
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-4: mean response time vs network latency (pr = 0.0 / 0.6 / 1.0)
+# ---------------------------------------------------------------------------
+
+def latency_sweep_experiment(read_probability, fidelity=Fidelity.BENCH,
+                             seed=1, latencies=LATENCY_SWEEP):
+    """One latency sweep, yielding both metrics.
+
+    The response view is Figure 2/3/4 (pr = 0.0/0.6/1.0); the abort view
+    is Figure 8/9 (pr = 0.6/0.8).
+    """
+    response_fig = {0.0: "2", 0.6: "3", 1.0: "4"}.get(read_probability,
+                                                      "2-4")
+    abort_fig = {0.6: "8", 0.8: "9"}.get(read_probability, "8-9")
+    base, replications = _base_config(fidelity,
+                                      read_probability=read_probability)
+    return sweep_both(
+        experiment_ids={"response": f"figure{response_fig}",
+                        "aborts": f"figure{abort_fig}"},
+        titles={"response": (
+                    f"Mean transaction response time vs network latency, "
+                    f"pr={read_probability:g} (50 clients, 25 hot items)"),
+                "aborts": (
+                    f"Percentage of transactions aborted vs network "
+                    f"latency, pr={read_probability:g} (50 clients, "
+                    f"25 hot items)")},
+        x_label="network latency",
+        base_config=base, replications=replications, xs=latencies,
+        configure=lambda cfg, x: cfg.replace(network_latency=x),
+        seed=seed)
+
+
+def figure_response_vs_latency(read_probability, fidelity=Fidelity.BENCH,
+                               seed=1, latencies=LATENCY_SWEEP):
+    return latency_sweep_experiment(read_probability, fidelity, seed,
+                                    latencies)["response"]
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-7: mean response time vs read probability (ss-LAN / MAN / l-WAN)
+# ---------------------------------------------------------------------------
+
+def figure_response_vs_read_probability(environment, fidelity=Fidelity.BENCH,
+                                        seed=1,
+                                        read_probabilities=READ_PROBABILITY_SWEEP):
+    figure = {"SS_LAN": "5", "MAN": "6", "L_WAN": "7"}.get(
+        environment.name, "5-7")
+    base, replications = _base_config(
+        fidelity, network_latency=environment.latency)
+    return sweep(
+        experiment_id=f"figure{figure}",
+        title=(f"Mean response time vs read probability in "
+               f"{environment.name} (latency {environment.latency:g})"),
+        x_label="read probability", y_label="mean response time",
+        base_config=base, replications=replications,
+        xs=read_probabilities,
+        configure=lambda cfg, x: cfg.replace(read_probability=x),
+        seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-9: percentage of transactions aborted vs latency (pr 0.6 / 0.8)
+# ---------------------------------------------------------------------------
+
+def figure_aborts_vs_latency(read_probability, fidelity=Fidelity.BENCH,
+                             seed=1, latencies=LATENCY_SWEEP):
+    return latency_sweep_experiment(read_probability, fidelity, seed,
+                                    latencies)["aborts"]
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: read-only deadlock aborts vs latency
+# ---------------------------------------------------------------------------
+
+def figure_readonly_aborts_vs_latency(fidelity=Fidelity.BENCH, seed=1,
+                                      latencies=(1, 2, 3, 5, 7, 10, 25, 100),
+                                      n_clients=5):
+    """Read-only system: aborts are exactly the read-deadlocks of §3.3.
+
+    The paper's caption does not pin the client count for this figure; the
+    published abort magnitudes (<= a little over 5%) arise at light load
+    (default 5 clients here). The `g2pl-ro` series shows the paper's
+    proposed read-only optimization eliminating them entirely.
+    """
+    base, replications = _base_config(fidelity, read_probability=1.0,
+                                      n_clients=n_clients)
+    return sweep(
+        experiment_id="figure10",
+        title=(f"Read-only system: % transactions aborted vs latency "
+               f"({n_clients} clients, 25 hot items)"),
+        x_label="network latency", y_label="% transactions aborted",
+        base_config=base, replications=replications, xs=latencies,
+        configure=lambda cfg, x: cfg.replace(network_latency=float(x)),
+        protocols=("g2pl", "g2pl-ro"), metric="aborts", seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: aborts vs forward-list length (read-only, ss-LAN)
+# ---------------------------------------------------------------------------
+
+def figure_aborts_vs_fl_length(fidelity=Fidelity.BENCH, seed=1,
+                               lengths=(1, 2, 3, 4, 5, 6, 8, 10),
+                               n_clients=50):
+    base, replications = _base_config(fidelity, read_probability=1.0,
+                                      n_clients=n_clients,
+                                      network_latency=1.0)
+    return sweep(
+        experiment_id="figure11",
+        title=("Read-only ss-LAN: % transactions aborted vs forward-list "
+               f"length cap ({n_clients} clients)"),
+        x_label="forward list length", y_label="% transactions aborted",
+        base_config=base, replications=replications, xs=lengths,
+        configure=lambda cfg, x: cfg.replace(max_forward_list_length=x),
+        protocols=("g2pl",), metric="aborts", seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Figures 12-15: response time / aborts vs number of clients (s-WAN)
+# ---------------------------------------------------------------------------
+
+def clients_sweep_experiment(read_probability, fidelity=Fidelity.BENCH,
+                             seed=1, client_counts=CLIENT_SWEEP):
+    """One client-count sweep, yielding both metrics.
+
+    pr=0.25 gives Figures 12 (response) and 13 (aborts); pr=0.75 gives
+    Figures 14 and 15.
+    """
+    response_fig = {0.25: "12", 0.75: "14"}.get(read_probability, "12/14")
+    abort_fig = {0.25: "13", 0.75: "15"}.get(read_probability, "13/15")
+    base, replications = _base_config(
+        fidelity, read_probability=read_probability, network_latency=500.0)
+    suffix = (f"vs number of clients, pr={read_probability:g}, s-WAN "
+              f"(latency 500), 25 hot items")
+    return sweep_both(
+        experiment_ids={"response": f"figure{response_fig}",
+                        "aborts": f"figure{abort_fig}"},
+        titles={"response": f"Mean response time {suffix}",
+                "aborts": f"Percentage of transactions aborted {suffix}"},
+        x_label="number of clients",
+        base_config=base, replications=replications, xs=client_counts,
+        configure=lambda cfg, x: cfg.replace(n_clients=x),
+        seed=seed)
+
+
+def figure_vs_clients(read_probability, metric, fidelity=Fidelity.BENCH,
+                      seed=1, client_counts=CLIENT_SWEEP):
+    return clients_sweep_experiment(read_probability, fidelity, seed,
+                                    client_counts)[metric]
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table1_parameters():
+    """Table 1: the simulation parameters, as configured by default."""
+    cfg = SimulationConfig()
+    return [
+        ("Number of servers", "1"),
+        ("Number of clients", f"varying (default {cfg.n_clients})"),
+        ("Number of hot data items", str(cfg.n_items)),
+        ("Transaction execution pattern", "sequential"),
+        ("Data items accessed by a transaction",
+         f"{cfg.min_ops}-{cfg.max_ops} (uniform, distinct)"),
+        ("Percentage of read accesses", "0.00-1.00"),
+        ("Network latency", "1-750 time units (Table 2)"),
+        ("Computation time per operation",
+         f"{cfg.think_min:g}-{cfg.think_max:g} time units"),
+        ("Idle time between transactions",
+         f"{cfg.idle_min:g}-{cfg.idle_max:g} time units"),
+        ("Multiprogramming level at clients", "1"),
+    ]
+
+
+def table2_environments():
+    """Table 2: the networking environments."""
+    return [(env.description, env.name, env.latency)
+            for env in TABLE2_ENVIRONMENTS]

@@ -1,0 +1,199 @@
+"""Assemble and run simulations; replicate; compare protocols."""
+
+from dataclasses import dataclass
+
+from repro.network.topology import UniformTopology
+from repro.network.transport import Network
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.rng import RandomStreams
+from repro.stats.ci import mean_confidence_interval
+from repro.stats.collector import MetricsCollector
+from repro.storage.store import VersionedStore
+from repro.storage.wal import WriteAheadLog
+from repro.validate.history import HistoryRecorder
+from repro.validate.serializability import check_history
+from repro.validate.strictness import check_strictness
+from repro.workload.driver import ClientDriver, RunControl
+from repro.workload.generator import WorkloadGenerator
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produced."""
+
+    config: object
+    seed: int
+    metrics: object               # RunMetrics
+    duration: float               # simulation time at run end
+    messages_sent: int
+    data_units_sent: float
+    serializability: object = None  # SerializabilityReport or None
+    server_stats: dict = None
+
+    @property
+    def mean_response_time(self):
+        return self.metrics.mean_response_time
+
+    @property
+    def abort_percentage(self):
+        return self.metrics.abort_percentage
+
+    @property
+    def throughput(self):
+        return self.metrics.throughput
+
+    def summary(self):
+        return (f"{self.config.protocol}: response={self.mean_response_time:.1f} "
+                f"aborts={self.abort_percentage:.2f}% "
+                f"committed={self.metrics.committed} "
+                f"messages={self.messages_sent}")
+
+
+def run_simulation(config, seed=None, check_serializability=None):
+    """Run one simulation to ``config.total_transactions`` finished
+    transactions and return a :class:`SimulationResult`.
+
+    ``check_serializability`` defaults to ``config.record_history``; when
+    enabled the run's recorded history is checked and a failure raises —
+    a non-serializable execution is a protocol bug, never a result.
+    """
+    if seed is None:
+        seed = config.seed
+    if check_serializability is None:
+        check_serializability = config.record_history
+
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    history = HistoryRecorder(enabled=config.record_history)
+    store = VersionedStore(range(config.n_items))
+    wal = WriteAheadLog()
+    network = Network(sim, UniformTopology(config.network_latency),
+                      bandwidth=config.bandwidth)
+    client_ids = list(range(1, config.n_clients + 1))
+    server, clients = make_protocol(config.protocol, sim, config, store, wal,
+                                    history, client_ids)
+    network.add_site(server)
+    for client in clients.values():
+        network.add_site(client)
+
+    generator = WorkloadGenerator(config.workload_params(), streams)
+    control = RunControl(sim, config.total_transactions)
+    collector = MetricsCollector(config.warmup_transactions)
+    for client_id, client in clients.items():
+        ClientDriver(sim, client_id, client, generator, control,
+                     collector, mpl=config.mpl).start()
+
+    try:
+        sim.run(until=control.done_event)
+    except SimulationError as exc:
+        raise RuntimeError(
+            f"simulation stalled after {control.finished} of "
+            f"{config.total_transactions} transactions "
+            f"({config.describe()}): {exc}") from exc
+
+    report = None
+    if check_serializability:
+        report = check_history(history)
+        if not report.ok:
+            raise AssertionError(
+                f"non-serializable execution under {config.protocol} "
+                f"(seed {seed}): {report}")
+        strictness = check_strictness(history)
+        if not strictness.ok:
+            raise AssertionError(
+                f"non-strict execution under {config.protocol} "
+                f"(seed {seed}): {strictness}")
+    if hasattr(server, "assert_invariants"):
+        server.assert_invariants()
+
+    all_waits = [w for client in clients.values() for w in client.op_waits]
+    server_stats = {"aborts_initiated": server.aborts_initiated,
+                    "mean_op_wait": (sum(all_waits) / len(all_waits)
+                                     if all_waits else 0.0),
+                    "n_ops_granted": len(all_waits)}
+    for attr in ("deadlocks_found", "windows_dispatched", "avoidance_aborts",
+                 "grafted_reads", "callbacks_sent", "cache_hits"):
+        if hasattr(server, attr):
+            server_stats[attr] = getattr(server, attr)
+    if hasattr(server, "mean_fl_length"):
+        server_stats["mean_fl_length"] = server.mean_fl_length()
+
+    return SimulationResult(
+        config=config,
+        seed=seed,
+        metrics=collector.metrics,
+        duration=sim.now,
+        messages_sent=network.stats.messages_sent,
+        data_units_sent=network.stats.data_units_sent,
+        serializability=report,
+        server_stats=server_stats,
+    )
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregate over independent replications of one configuration."""
+
+    config: object
+    runs: list
+    response_time: object   # ConfidenceInterval
+    abort_percentage: object  # ConfidenceInterval
+
+    @property
+    def mean_response_time(self):
+        return self.response_time.mean
+
+    @property
+    def mean_abort_percentage(self):
+        return self.abort_percentage.mean
+
+    def summary(self):
+        return (f"{self.config.protocol}: response={self.response_time} "
+                f"aborts={self.abort_percentage}%")
+
+
+def run_replications(config, replications=3, base_seed=None,
+                     check_serializability=None):
+    """Run independent replications (distinct seeds) and aggregate."""
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if base_seed is None:
+        base_seed = config.seed
+    runs = [
+        run_simulation(config, seed=base_seed + 7919 * index,
+                       check_serializability=check_serializability)
+        for index in range(replications)
+    ]
+    return ReplicatedResult(
+        config=config,
+        runs=runs,
+        response_time=mean_confidence_interval(
+            [run.mean_response_time for run in runs]),
+        abort_percentage=mean_confidence_interval(
+            [run.abort_percentage for run in runs]),
+    )
+
+
+def compare_protocols(config, protocols=("s2pl", "g2pl"), replications=3,
+                      base_seed=None):
+    """Run the same workload under several protocols (common random
+    numbers: identical seeds per replication index) and return
+    ``{protocol: ReplicatedResult}``."""
+    results = {}
+    for protocol in protocols:
+        results[protocol] = run_replications(
+            config.replace(protocol=protocol), replications=replications,
+            base_seed=base_seed)
+    return results
+
+
+def improvement_percentage(baseline, contender):
+    """Paper-style response-time improvement of ``contender`` over
+    ``baseline``: positive means the contender is faster."""
+    base = baseline.mean_response_time
+    new = contender.mean_response_time
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - new) / base

@@ -1,0 +1,13 @@
+"""Lock management substrate: modes, the lock table, and the wait-for graph.
+
+Implements the strict two-phase locking machinery of the s-2PL baseline
+(Eswaran et al. [14]): shared/exclusive locks with FIFO queuing at the data
+server, plus the wait-for-graph deadlock detector that the paper runs
+whenever a lock cannot be granted.
+"""
+
+from repro.locking.lock_table import LockRequestState, LockTable
+from repro.locking.modes import LockMode
+from repro.locking.waitfor import WaitForGraph
+
+__all__ = ["LockMode", "LockRequestState", "LockTable", "WaitForGraph"]

@@ -1,0 +1,205 @@
+"""The server's lock table: per-item holders and FIFO wait queues."""
+
+import enum
+from collections import OrderedDict, deque
+
+from repro.locking.modes import LockMode
+
+
+class LockRequestState(enum.Enum):
+    """Outcome of an acquire call."""
+
+    GRANTED = "granted"
+    WAITING = "waiting"
+
+
+class _ItemLock:
+    """Lock state of a single data item."""
+
+    __slots__ = ("holders", "queue")
+
+    def __init__(self):
+        # txn -> mode for current holders (all READ, or one WRITE)
+        self.holders = OrderedDict()
+        # FIFO of (txn, mode) waiting
+        self.queue = deque()
+
+    def compatible(self, mode, requester):
+        if not self.holders:
+            return True
+        if any(txn == requester for txn in self.holders):
+            # Upgrade/re-request handled by the caller.
+            raise AssertionError("requester already holds this lock")
+        return mode is LockMode.READ and all(
+            held is LockMode.READ for held in self.holders.values())
+
+
+class LockTable:
+    """Shared/exclusive lock table with FIFO granting.
+
+    Grant discipline: a request is granted immediately iff it is compatible
+    with all current holders *and* no conflicting request is already queued
+    (no reader overtaking — prevents writer starvation and matches a strict
+    FIFO server queue). On release, the longest compatible prefix of the
+    queue is granted, so a run of readers at the head is granted together.
+    """
+
+    def __init__(self):
+        self._items = {}
+        self._held_by_txn = {}
+
+    def _item(self, item):
+        lock = self._items.get(item)
+        if lock is None:
+            lock = self._items[item] = _ItemLock()
+        return lock
+
+    # -- queries -------------------------------------------------------------
+
+    def holders(self, item):
+        """Mapping txn -> mode of current holders of ``item``."""
+        lock = self._items.get(item)
+        return dict(lock.holders) if lock else {}
+
+    def waiters(self, item):
+        """List of (txn, mode) queued on ``item`` in FIFO order."""
+        lock = self._items.get(item)
+        return list(lock.queue) if lock else []
+
+    def held_items(self, txn):
+        """Items currently held by ``txn`` as a mapping item -> mode."""
+        return dict(self._held_by_txn.get(txn, {}))
+
+    def holds(self, txn, item, mode=None):
+        """Does ``txn`` hold ``item`` (in ``mode``, if given)?"""
+        held = self._held_by_txn.get(txn, {})
+        if item not in held:
+            return False
+        return mode is None or held[item] is mode
+
+    def blockers_of(self, txn, item):
+        """Transactions that ``txn``'s queued request on ``item`` waits for.
+
+        These are the current holders plus any *earlier-queued* conflicting
+        requests (which will be granted first under FIFO).
+        """
+        lock = self._items.get(item)
+        if lock is None:
+            return []
+        mode = None
+        ahead = []
+        for queued_txn, queued_mode in lock.queue:
+            if queued_txn == txn:
+                mode = queued_mode
+                break
+            ahead.append((queued_txn, queued_mode))
+        if mode is None:
+            return []
+        blockers = [holder for holder, held in lock.holders.items()
+                    if not mode.compatible_with(held)]
+        blockers.extend(queued_txn for queued_txn, queued_mode in ahead
+                        if not mode.compatible_with(queued_mode))
+        return blockers
+
+    # -- state changes -------------------------------------------------------
+
+    def acquire(self, txn, item, mode):
+        """Request ``item`` in ``mode`` for ``txn``.
+
+        Returns :class:`LockRequestState`. Re-requesting a held item in the
+        same or weaker mode grants immediately; a READ→WRITE upgrade grants
+        iff ``txn`` is the only holder, otherwise it queues (at the front,
+        since the upgrade logically precedes every queued request).
+        """
+        lock = self._item(item)
+        held = self._held_by_txn.setdefault(txn, {})
+        if item in held:
+            if held[item] is LockMode.WRITE or mode is LockMode.READ:
+                return LockRequestState.GRANTED
+            if len(lock.holders) == 1:  # sole reader upgrading
+                lock.holders[txn] = LockMode.WRITE
+                held[item] = LockMode.WRITE
+                return LockRequestState.GRANTED
+            lock.queue.appendleft((txn, LockMode.WRITE))
+            return LockRequestState.WAITING
+        if not lock.queue and lock.compatible(mode, txn):
+            lock.holders[txn] = mode
+            held[item] = mode
+            return LockRequestState.GRANTED
+        lock.queue.append((txn, mode))
+        return LockRequestState.WAITING
+
+    def drop_queued(self, txn):
+        """Remove ``txn``'s queued (not yet granted) requests everywhere.
+
+        Used when a waiting transaction is chosen as a deadlock victim: its
+        wait edges disappear immediately, while its *held* locks are only
+        released when its client's abort-release arrives. Returns newly
+        granted (txn, item, mode) triples (dropping a queued writer can
+        unblock readers behind it).
+        """
+        granted = []
+        for item, lock in list(self._items.items()):
+            before = len(lock.queue)
+            if before:
+                lock.queue = deque(
+                    entry for entry in lock.queue if entry[0] != txn)
+                if len(lock.queue) != before:
+                    granted.extend(self._grant_from_queue(item, lock))
+        return granted
+
+    def release_all(self, txn):
+        """Release every lock held by ``txn`` and drop its queued requests.
+
+        Returns the list of newly granted (txn, item, mode) triples, in
+        grant order.
+        """
+        granted = []
+        held = self._held_by_txn.pop(txn, {})
+        for item in held:
+            lock = self._items[item]
+            lock.holders.pop(txn, None)
+            granted.extend(self._grant_from_queue(item, lock))
+        # Drop queued requests of the released txn on other items.
+        for item, lock in list(self._items.items()):
+            before = len(lock.queue)
+            if before:
+                lock.queue = deque(
+                    entry for entry in lock.queue if entry[0] != txn)
+                if len(lock.queue) != before:
+                    granted.extend(self._grant_from_queue(item, lock))
+        return granted
+
+    def _grant_from_queue(self, item, lock):
+        granted = []
+        while lock.queue:
+            txn, mode = lock.queue[0]
+            upgrade = txn in lock.holders
+            if upgrade:
+                # READ→WRITE upgrade waiting at the head.
+                if len(lock.holders) != 1:
+                    break
+                lock.queue.popleft()
+                lock.holders[txn] = LockMode.WRITE
+                self._held_by_txn[txn][item] = LockMode.WRITE
+                granted.append((txn, item, LockMode.WRITE))
+                continue
+            if lock.holders and not (
+                    mode is LockMode.READ and all(
+                        held is LockMode.READ
+                        for held in lock.holders.values())):
+                break
+            lock.queue.popleft()
+            lock.holders[txn] = mode
+            self._held_by_txn.setdefault(txn, {})[item] = mode
+            granted.append((txn, item, mode))
+            if mode is LockMode.WRITE:
+                break
+        if not lock.holders and not lock.queue:
+            self._items.pop(item, None)
+        return granted
+
+    def __repr__(self):
+        active = sum(1 for lock in self._items.values() if lock.holders)
+        queued = sum(len(lock.queue) for lock in self._items.values())
+        return f"<LockTable {active} held items, {queued} queued requests>"

@@ -1,0 +1,26 @@
+"""Lock modes and their compatibility."""
+
+import enum
+
+
+class LockMode(enum.Enum):
+    """Shared (read) and exclusive (write) locks, as in the paper §3.1."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_shared(self):
+        return self is LockMode.READ
+
+    def compatible_with(self, other):
+        """Two locks are compatible only when both are shared."""
+        return self is LockMode.READ and other is LockMode.READ
+
+    @classmethod
+    def from_read_flag(cls, is_read):
+        """Map the workload's read/write coin flip to a mode."""
+        return cls.READ if is_read else cls.WRITE
+
+    def __str__(self):
+        return self.value

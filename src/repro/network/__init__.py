@@ -1,0 +1,31 @@
+"""Network substrate: sites, message transport, and Table 2 environments.
+
+The paper's model (§4): a single server and many clients joined by a
+high-speed network in which the *network latency* — propagation plus
+switching delay — is the same between any two sites and in both directions,
+and the transmission delay is negligible. The transport here implements
+exactly that, plus two generalisations used by the ablation benches:
+an arbitrary per-pair latency matrix and a finite data rate (so the
+"message size does not matter" assumption can be tested rather than assumed).
+"""
+
+from repro.network.message import Envelope
+from repro.network.presets import (
+    NetworkEnvironment,
+    TABLE2_ENVIRONMENTS,
+    environment_for_latency,
+)
+from repro.network.topology import MatrixTopology, Site, UniformTopology
+from repro.network.transport import Network, NetworkStats
+
+__all__ = [
+    "Envelope",
+    "MatrixTopology",
+    "Network",
+    "NetworkEnvironment",
+    "NetworkStats",
+    "Site",
+    "TABLE2_ENVIRONMENTS",
+    "UniformTopology",
+    "environment_for_latency",
+]

@@ -1,0 +1,35 @@
+"""The message envelope carried by the transport."""
+
+from dataclasses import dataclass, field
+
+
+_envelope_counter = [0]
+
+
+def _next_envelope_id():
+    _envelope_counter[0] += 1
+    return _envelope_counter[0]
+
+
+@dataclass
+class Envelope:
+    """A payload in flight between two sites.
+
+    ``size`` is in abstract data units; with the default infinite bandwidth
+    it only feeds the traffic statistics, with a finite bandwidth it adds
+    ``size / bandwidth`` of transmission time on top of the propagation
+    latency (§2 of the paper: the two delay components).
+    """
+
+    src: int
+    dst: int
+    payload: object
+    size: float = 1.0
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    envelope_id: int = field(default_factory=_next_envelope_id)
+
+    @property
+    def in_flight_time(self):
+        """Total time the envelope spent on the wire."""
+        return self.deliver_time - self.send_time

@@ -1,0 +1,41 @@
+"""Table 2 of the paper: networking environments and their latencies.
+
+Latencies are in simulation time units. The paper's example conversion:
+1 unit = 0.5 ms puts the WAN values at 50–500 ms round numbers, realistic
+for wide-area and satellite links of the era.
+"""
+
+import enum
+
+
+class NetworkEnvironment(enum.Enum):
+    """The six environments simulated in the paper (Table 2)."""
+
+    SS_LAN = ("single-segment LAN", 1.0)
+    MS_LAN = ("multi-segment LAN", 50.0)
+    CAN = ("campus area network", 100.0)
+    MAN = ("metropolitan area network", 250.0)
+    S_WAN = ("small wide area network", 500.0)
+    L_WAN = ("large wide area network", 750.0)
+
+    def __init__(self, description, latency):
+        self.description = description
+        self.latency = latency
+
+    def __str__(self):
+        return f"{self.name} ({self.description}, latency {self.latency:g})"
+
+
+#: Table 2 rows in the paper's order.
+TABLE2_ENVIRONMENTS = tuple(NetworkEnvironment)
+
+#: The latency sweep used for the "response time vs latency" figures.
+LATENCY_SWEEP = tuple(env.latency for env in TABLE2_ENVIRONMENTS)
+
+
+def environment_for_latency(latency):
+    """Return the Table 2 environment with this latency, or None."""
+    for env in TABLE2_ENVIRONMENTS:
+        if env.latency == latency:
+            return env
+    return None

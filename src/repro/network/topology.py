@@ -1,0 +1,78 @@
+"""Sites and latency topologies."""
+
+
+class Site:
+    """A network endpoint that can receive messages.
+
+    Subclasses (the data server, client sites) override :meth:`receive`.
+    A site learns its identity and transport when attached to a
+    :class:`~repro.network.transport.Network`.
+    """
+
+    def __init__(self, site_id):
+        self.site_id = site_id
+        self.network = None
+
+    def attach(self, network):
+        """Called by the network when the site is registered."""
+        self.network = network
+
+    def send(self, dst, payload, size=1.0):
+        """Convenience wrapper around ``network.send`` from this site."""
+        if self.network is None:
+            raise RuntimeError(f"site {self.site_id} is not attached to a network")
+        return self.network.send(self.site_id, dst, payload, size=size)
+
+    def receive(self, envelope):
+        """Handle a delivered envelope. Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} id={self.site_id}>"
+
+
+class UniformTopology:
+    """The paper's model: one latency between every pair, both directions."""
+
+    def __init__(self, latency):
+        if latency < 0:
+            raise ValueError(f"negative latency {latency!r}")
+        self.base_latency = latency
+
+    def latency(self, src, dst):
+        """Propagation + switching delay from ``src`` to ``dst``."""
+        if src == dst:
+            return 0.0
+        return self.base_latency
+
+    def __repr__(self):
+        return f"UniformTopology(latency={self.base_latency})"
+
+
+class MatrixTopology:
+    """General per-pair latencies, e.g. clustered clients far from the server.
+
+    ``latencies`` maps ``(src, dst)`` to a delay; missing reverse pairs fall
+    back to the forward entry (symmetric by default); otherwise ``default``
+    applies.
+    """
+
+    def __init__(self, latencies, default=0.0):
+        for pair, value in latencies.items():
+            if value < 0:
+                raise ValueError(f"negative latency {value!r} for pair {pair}")
+        if default < 0:
+            raise ValueError(f"negative default latency {default!r}")
+        self._latencies = dict(latencies)
+        self.default = default
+
+    def latency(self, src, dst):
+        if src == dst:
+            return 0.0
+        value = self._latencies.get((src, dst))
+        if value is None:
+            value = self._latencies.get((dst, src), self.default)
+        return value
+
+    def __repr__(self):
+        return f"MatrixTopology({len(self._latencies)} pairs, default={self.default})"

@@ -1,0 +1,148 @@
+"""Shared plumbing for protocol servers and clients."""
+
+from repro.network.topology import Site
+from repro.protocols.messages import CONTROL_SIZE
+from repro.protocols.transaction import TxnOutcome
+
+SERVER_SITE_ID = 0
+
+
+class _Dispatcher(Site):
+    """A site that routes payloads to ``on_<PayloadClassName>`` methods."""
+
+    def __init__(self, site_id):
+        super().__init__(site_id)
+        self._handlers = {}
+
+    def _handler_for(self, payload):
+        handler = self._handlers.get(type(payload))
+        if handler is None:
+            name = f"on_{type(payload).__name__}"
+            handler = getattr(self, name, None)
+            if handler is None:
+                raise TypeError(
+                    f"{type(self).__name__} has no handler {name}")
+            self._handlers[type(payload)] = handler
+        return handler
+
+    def receive(self, envelope):
+        self._handler_for(envelope.payload)(envelope.payload)
+
+
+class ProtocolServer(_Dispatcher):
+    """Base class for the data server of a protocol.
+
+    Owns the versioned store and the WAL; optionally serialises message
+    handling through a single CPU with ``server_processing_time`` per
+    message (the paper charges both protocols the same server cost, zero
+    by default).
+    """
+
+    def __init__(self, sim, config, store, wal, history):
+        super().__init__(SERVER_SITE_ID)
+        self.sim = sim
+        self.config = config
+        self.store = store
+        self.wal = wal
+        self.history = history
+        self.aborts_initiated = 0
+        self._cpu_free_at = 0.0
+        self.recovery = None
+        if config.checkpoint_interval is not None:
+            from repro.storage.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(
+                store, wal, checkpoint_interval=config.checkpoint_interval)
+
+    def receive(self, envelope):
+        cost = self.config.server_processing_time
+        if cost <= 0.0:
+            self._handler_for(envelope.payload)(envelope.payload)
+            return
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        self.sim.call_later(self._cpu_free_at - self.sim.now,
+                            self._handler_for(envelope.payload),
+                            envelope.payload)
+
+    def install_updates(self, txn_id, updates):
+        """WAL-then-install the committed ``updates`` (item -> value), then
+        force the log and garbage collect the durable prefix."""
+        from repro.storage.wal import LogRecordType
+
+        if not updates:
+            return
+        for item_id, value in updates.items():
+            version = self.store.version(item_id) + 1
+            self.wal.append(LogRecordType.UPDATE, txn=txn_id,
+                            item_id=item_id, version=version,
+                            now=self.sim.now)
+            self.store.install(item_id, value=value, now=self.sim.now)
+        lsn = self.wal.append(LogRecordType.COMMIT, txn=txn_id,
+                              now=self.sim.now)
+        self.wal.force(lsn)
+        self.truncate_log(len(updates))
+
+    def truncate_log(self, installs):
+        """Garbage collect the log; with recovery enabled the horizon stops
+        at the last checkpoint so a crash stays survivable."""
+        if self.recovery is None:
+            self.wal.garbage_collect(self.wal.durable_lsn)
+            return
+        self.recovery.note_installs(installs, now=self.sim.now)
+        self.wal.garbage_collect(self.recovery.gc_horizon())
+
+    def data_ship_size(self, n_items=1, fl=None):
+        size = CONTROL_SIZE + n_items * self.config.data_item_size
+        if fl is not None:
+            size += fl.transfer_size()
+        return size
+
+
+class ProtocolClient(_Dispatcher):
+    """Base class for a client site.
+
+    Subclasses implement :meth:`execute`, a generator run as a simulation
+    process that performs one transaction and returns a
+    :class:`~repro.protocols.transaction.TxnOutcome`.
+    """
+
+    def __init__(self, sim, client_id, config, history):
+        super().__init__(client_id)
+        self.sim = sim
+        self.client_id = client_id
+        self.config = config
+        self.history = history
+        #: time from each lock request to its grant (diagnostics)
+        self.op_waits = []
+
+    @property
+    def server_id(self):
+        return SERVER_SITE_ID
+
+    def execute(self, txn):
+        raise NotImplementedError
+
+    def send_control(self, dst, payload):
+        self.send(dst, payload, size=CONTROL_SIZE)
+
+    def data_ship_size(self, n_items=1, fl=None):
+        size = CONTROL_SIZE + n_items * self.config.data_item_size
+        if fl is not None:
+            size += fl.transfer_size()
+        return size
+
+    def make_outcome(self, txn, start_time, end_time):
+        """Assemble the outcome record the driver hands to the collector."""
+        from repro.protocols.transaction import TxnStatus
+
+        return TxnOutcome(
+            txn_id=txn.txn_id,
+            client_id=txn.client_id,
+            committed=txn.status is TxnStatus.COMMITTED,
+            start_time=start_time,
+            end_time=end_time,
+            n_ops=txn.spec.n_ops,
+            n_writes=txn.spec.n_writes,
+            abort_reason=txn.abort_reason,
+        )

@@ -1,0 +1,653 @@
+"""Group two-phase locking (g-2PL): the paper's contribution (§3.2–3.4).
+
+Mechanics implemented here:
+
+* **Collection windows and forward lists** — while a data item is away from
+  the server, incoming lock requests collect in the item's window. When the
+  item comes home the window is frozen into a forward list (FL): maximal
+  runs of readers become read groups, and the item is shipped to the first
+  entry together with the FL. Each client forwards the item to its FL
+  successor when its transaction terminates; the last entry returns the
+  item to the server, which immediately dispatches the next window. The
+  release of one client and the grant to the next ride the same message,
+  saving a round per handoff.
+
+* **Deadlock avoidance** — a global precedence DAG orders live
+  transactions. Window requests are reorderable, so freezing orders them
+  by a linear extension of the DAG (never aborts). What can conflict is a
+  *fixed* constraint: members of an already-dispatched chain must precede
+  any new request for that item. If such an edge would close a cycle the
+  opposite order is already frozen on some other item, the deadlock is
+  unavoidable, and the requester is aborted (the paper's "offending
+  transactions are aborted"). Requests within one window never deadlock —
+  this is how the reordering "within a collection window" avoids deadlocks
+  without predeclaration or starvation.
+
+* **MR1W** — the writer that follows a read group is shipped the item at
+  the same time as the readers and executes concurrently, but its hold is
+  not forwarded until every reader's release has arrived. Without MR1W the
+  writer receives the item only via the readers' releases (which then carry
+  the data).
+
+* **Read-only optimization** (future work in the paper, `expand_read_groups`)
+  — a read request for an in-flight item whose chain is writer-free joins
+  the circulating read group directly: the server still holds the current
+  version (nobody is writing), so it ships its own copy and counts one more
+  return. This eliminates read-only dependencies across windows.
+
+* **Forward-list ordering disciplines** (§6 future work) — FIFO (default),
+  readers-first, writers-first, applied as the tiebreak key of the linear
+  extension, so precedence constraints always win.
+"""
+
+from dataclasses import dataclass
+
+from repro.locking.modes import LockMode
+from repro.protocols.base import ProtocolClient, ProtocolServer
+from repro.protocols.forward_list import FLEntry, ForwardList, TxnRef
+from repro.protocols.messages import (
+    AbortNotice,
+    CONTROL_SIZE,
+    GShip,
+    LockRequest,
+    ReaderRelease,
+    ReturnToServer,
+    TxnDone,
+)
+from repro.protocols.precedence import PrecedenceGraph
+
+FL_ORDERINGS = ("fifo", "reads_first", "writes_first")
+
+
+def dispatch_chain(sender, item_id, version, value, fl, mr1w):
+    """Ship ``item_id`` to the first entry of ``fl`` (which starts at that
+    entry). Used identically by the server (initial dispatch) and by a
+    forwarding client (writer handing the item onward).
+
+    Readers receive the FL from their own group onward so they know their
+    co-readers and the writer their release must go to. Under MR1W the
+    writer after a read group is shipped concurrently.
+    """
+    first = fl.head
+    if first.is_read_group:
+        next_writer = fl[1].writer if len(fl) > 1 else None
+        release_to = ((next_writer.txn_id, next_writer.client_id)
+                      if next_writer is not None else None)
+        group = first.txn_ids()
+        for ref in first.txns:
+            sender.send(ref.client_id,
+                        GShip(txn_id=ref.txn_id, item_id=item_id,
+                              version=version, value=value,
+                              mode=LockMode.READ, fl_tail=fl, group=group,
+                              release_to=release_to),
+                        size=sender.data_ship_size(fl=fl))
+        if next_writer is not None and mr1w:
+            sender.send(next_writer.client_id,
+                        GShip(txn_id=next_writer.txn_id, item_id=item_id,
+                              version=version, value=value,
+                              mode=LockMode.WRITE, fl_tail=fl.tail(1),
+                              group=group, await_releases_from=group),
+                        size=sender.data_ship_size(fl=fl.tail(1)))
+    else:
+        writer = first.writer
+        sender.send(writer.client_id,
+                    GShip(txn_id=writer.txn_id, item_id=item_id,
+                          version=version, value=value,
+                          mode=LockMode.WRITE, fl_tail=fl),
+                    size=sender.data_ship_size(fl=fl))
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WindowRequest:
+    ref: TxnRef
+    mode: object
+    arrival: float
+
+
+class _ItemState:
+    """Per-item server bookkeeping."""
+
+    __slots__ = ("item_id", "at_server", "window", "chain_live", "chain_all",
+                 "chain_has_writer", "expected_returns", "returns_received",
+                 "returned_version", "returned_value")
+
+    def __init__(self, item_id):
+        self.item_id = item_id
+        self.at_server = True
+        self.window = []          # [_WindowRequest] in arrival order
+        self.chain_live = set()   # txn ids on the dispatched chain, live
+        self.chain_all = []       # TxnRefs on the dispatched chain
+        self.chain_has_writer = False
+        self.expected_returns = 0
+        self.returns_received = 0
+        self.returned_version = -1
+        self.returned_value = None
+
+
+class _TxnEntry:
+    __slots__ = ("client_id", "first_seen", "chain_items")
+
+    def __init__(self, client_id, first_seen):
+        self.client_id = client_id
+        self.first_seen = first_seen
+        self.chain_items = set()  # items whose un-returned chain includes txn
+
+
+class G2PLServer(ProtocolServer):
+    """The data server running group 2PL."""
+
+    def __init__(self, sim, config, store, wal, history):
+        super().__init__(sim, config, store, wal, history)
+        self._items = {item_id: _ItemState(item_id)
+                       for item_id in store.item_ids()}
+        self.precedence = PrecedenceGraph()
+        self._txns = {}
+        self._dead = set()
+        # statistics
+        self.windows_dispatched = 0
+        self.fl_lengths = []        # txn count per dispatched FL
+        self.avoidance_aborts = 0
+        self.grafted_reads = 0
+        if config.fl_ordering not in FL_ORDERINGS:
+            raise ValueError(
+                f"unknown fl_ordering {config.fl_ordering!r}; "
+                f"choose from {FL_ORDERINGS}")
+        cap = config.max_forward_list_length
+        if cap is not None and cap < 1:
+            raise ValueError(f"max_forward_list_length must be >= 1, got {cap}")
+
+    # -- message handlers ----------------------------------------------------
+
+    def on_LockRequest(self, msg):
+        txn_id = msg.txn_id
+        if txn_id in self._dead:
+            return
+        entry = self._txns.get(txn_id)
+        if entry is None:
+            entry = self._txns[txn_id] = _TxnEntry(msg.client_id, self.sim.now)
+        info = self._items[msg.item_id]
+        ref = TxnRef(txn_id=txn_id, client_id=entry.client_id)
+
+        # Fixed constraint: every live dispatched-chain member precedes the
+        # new request. If any such edge closes a cycle, the conflicting
+        # order is frozen elsewhere: unavoidable deadlock, abort.
+        live_chain = [t for t in info.chain_live if t != txn_id]
+        for chain_txn in live_chain:
+            if self.precedence.would_cycle(chain_txn, txn_id):
+                self._abort(txn_id, reason="precedence-cycle")
+                return
+
+        if (self.config.expand_read_groups
+                and not info.at_server
+                and msg.mode is LockMode.READ
+                and not info.chain_has_writer
+                and not any(w.mode is LockMode.WRITE for w in info.window)
+                and self._try_graft_reader(info, ref)):
+            return
+
+        for chain_txn in live_chain:
+            self.precedence.add_edge(chain_txn, txn_id)
+        info.window.append(
+            _WindowRequest(ref=ref, mode=msg.mode, arrival=self.sim.now))
+        if info.at_server:
+            self._maybe_dispatch(info)
+
+    def on_ReturnToServer(self, msg):
+        info = self._items[msg.item_id]
+        info.returns_received += 1
+        if msg.version > info.returned_version:
+            info.returned_version = msg.version
+            info.returned_value = msg.value
+        if info.returns_received < info.expected_returns:
+            return
+        # The item is home: install the committed state and open the window.
+        for ref in info.chain_all:
+            entry = self._txns.get(ref.txn_id)
+            if entry is not None:
+                entry.chain_items.discard(msg.item_id)
+        info.chain_all = []
+        info.chain_live.clear()
+        info.chain_has_writer = False
+        info.at_server = True
+        info.expected_returns = 0
+        info.returns_received = 0
+        if info.returned_version > self.store.version(msg.item_id):
+            self._install_returned(msg.item_id, info.returned_version,
+                                   info.returned_value)
+        info.returned_version = -1
+        info.returned_value = None
+        self._maybe_dispatch(info)
+
+    def on_TxnDone(self, msg):
+        self._retire(msg.txn_id)
+
+    # -- internals -----------------------------------------------------------
+
+    def _install_returned(self, item_id, version, value):
+        from repro.storage.wal import LogRecordType
+
+        # Tag the records with a unique unit-of-installation id so the
+        # recovery redo pass can pair UPDATE with its COMMIT.
+        unit = ("return", item_id, version)
+        self.wal.append(LogRecordType.UPDATE, txn=unit, item_id=item_id,
+                        version=version, now=self.sim.now)
+        self.store.install_as(item_id, version, value=value, now=self.sim.now)
+        lsn = self.wal.append(LogRecordType.COMMIT, txn=unit,
+                              now=self.sim.now)
+        self.wal.force(lsn)
+        self.truncate_log(1)
+
+    def _retire(self, txn_id):
+        """A transaction terminated: drop it from the avoidance structures."""
+        entry = self._txns.pop(txn_id, None)
+        self.precedence.remove_node(txn_id)
+        if entry is not None:
+            for item_id in entry.chain_items:
+                self._items[item_id].chain_live.discard(txn_id)
+
+    def _abort(self, txn_id, reason):
+        entry = self._txns[txn_id]
+        self._dead.add(txn_id)
+        self.avoidance_aborts += 1
+        self.aborts_initiated += 1
+        expect = tuple(sorted(entry.chain_items))
+        # Defensive: purge any window entries (none exist for a sequential
+        # client, but cheap to guarantee).
+        for info in self._items.values():
+            info.window = [w for w in info.window if w.ref.txn_id != txn_id]
+        self._retire(txn_id)
+        self.send(entry.client_id,
+                  AbortNotice(txn_id=txn_id, reason=reason,
+                              expect_items=expect),
+                  size=CONTROL_SIZE)
+
+    def _try_graft_reader(self, info, ref):
+        """Read-only optimization: join a writer-free in-flight chain."""
+        # The grafted reader must precede everything the chain precedes;
+        # since the chain is one read group and the window holds no writers,
+        # the only orders to fix are reader -> (future) window writers,
+        # none of which exist. Nothing can cycle; graft unconditionally.
+        info.chain_live.add(ref.txn_id)
+        info.chain_all.append(ref)
+        self._txns[ref.txn_id].chain_items.add(info.item_id)
+        info.expected_returns += 1
+        self.grafted_reads += 1
+        item = self.store.read(info.item_id)
+        solo = ForwardList([FLEntry(LockMode.READ, (ref,))])
+        self.send(ref.client_id,
+                  GShip(txn_id=ref.txn_id, item_id=info.item_id,
+                        version=item.version, value=item.value,
+                        mode=LockMode.READ, fl_tail=solo,
+                        group=(ref.txn_id,), release_to=None),
+                  size=self.data_ship_size(fl=solo))
+        return True
+
+    def _ordering_key(self, window_requests):
+        """Tiebreak key for the linear extension: arrival order within the
+        configured discipline."""
+        arrival = {w.ref.txn_id: (w.arrival, index)
+                   for index, w in enumerate(window_requests)}
+        mode = {w.ref.txn_id: w.mode for w in window_requests}
+        discipline = self.config.fl_ordering
+        if discipline == "fifo":
+            return lambda txn: arrival[txn]
+        if discipline == "reads_first":
+            return lambda txn: (mode[txn] is not LockMode.READ, arrival[txn])
+        return lambda txn: (mode[txn] is not LockMode.WRITE, arrival[txn])
+
+    def _maybe_dispatch(self, info):
+        if not info.at_server or not info.window:
+            return
+        window = info.window
+        order = self.precedence.linear_extension(
+            [w.ref.txn_id for w in window],
+            key=self._ordering_key(window))
+        by_txn = {w.ref.txn_id: w for w in window}
+        cap = self.config.max_forward_list_length
+        selected_ids = order if cap is None else order[:cap]
+        leftover_ids = [] if cap is None else order[len(selected_ids):]
+
+        selected = [by_txn[txn_id] for txn_id in selected_ids]
+        info.window = sorted((by_txn[txn_id] for txn_id in leftover_ids),
+                             key=lambda w: w.arrival)
+
+        fl = ForwardList.from_requests(
+            [(w.ref, w.mode) for w in selected])
+
+        # Chain-order edges: every earlier entry precedes every later entry
+        # (all pairs, so the constraint survives intermediate terminations).
+        entries = fl.entries
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                for src in entries[i].txns:
+                    for dst in entries[j].txns:
+                        self.precedence.add_edge(src.txn_id, dst.txn_id)
+        # Fixed edges to the leftovers that will follow this chain.
+        for w in info.window:
+            for s in selected:
+                self.precedence.add_edge(s.ref.txn_id, w.ref.txn_id)
+
+        info.at_server = False
+        info.chain_all = [w.ref for w in selected]
+        info.chain_live = {w.ref.txn_id for w in selected
+                           if w.ref.txn_id not in self._dead}
+        info.chain_has_writer = any(
+            entry.mode is LockMode.WRITE for entry in entries)
+        last = entries[-1]
+        info.expected_returns = len(last.txns) if last.is_read_group else 1
+        info.returns_received = 0
+        info.returned_version = -1
+        for w in selected:
+            self._txns[w.ref.txn_id].chain_items.add(info.item_id)
+
+        self.windows_dispatched += 1
+        self.fl_lengths.append(fl.txn_count())
+        item = self.store.read(info.item_id)
+        dispatch_chain(self, info.item_id, item.version, item.value, fl,
+                       mr1w=self.config.mr1w)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def mean_fl_length(self):
+        if not self.fl_lengths:
+            return 0.0
+        return sum(self.fl_lengths) / len(self.fl_lengths)
+
+    def assert_invariants(self):
+        """Cheap structural invariants, used by tests after every run."""
+        cycle = self.precedence.find_any_cycle()
+        if cycle is not None:
+            raise AssertionError(f"precedence graph has a cycle: {cycle}")
+        for item_id, info in self._items.items():
+            if info.at_server and info.chain_live:
+                raise AssertionError(
+                    f"item {item_id} is home but has live chain members")
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+class _Hold:
+    """Client-side state for one (transaction, item) pair."""
+
+    __slots__ = ("txn_id", "item_id", "mode", "version", "value", "fl_tail",
+                 "group", "awaiting", "gate_releases", "data_received",
+                 "committed_write", "new_value", "released", "early_releases")
+
+    def __init__(self, txn_id, item_id):
+        self.txn_id = txn_id
+        self.item_id = item_id
+        self.mode = None
+        self.version = None
+        self.value = None
+        self.fl_tail = None       # ForwardList starting at own entry
+        self.group = ()
+        self.awaiting = set()     # reader txn ids still to release to us
+        self.gate_releases = False  # basic-mode writer: execute after releases
+        self.data_received = False
+        self.committed_write = False
+        self.new_value = None
+        self.released = False
+        self.early_releases = set()
+
+    @property
+    def ready_for_txn(self):
+        return self.data_received and not (self.gate_releases and self.awaiting)
+
+
+class G2PLClient(ProtocolClient):
+    """A client site running group-2PL transactions.
+
+    Beyond executing its own transactions, the client participates in data
+    migration: it forwards items along forward lists on behalf of committed
+    *and aborted* transactions (an aborted transaction's position on a
+    dispatched chain cannot be skipped — the data simply passes through
+    unchanged).
+    """
+
+    def __init__(self, sim, client_id, config, history):
+        super().__init__(sim, client_id, config, history)
+        self._active = {}
+        self._grant_events = {}   # txn_id -> (item_id, Event)
+        self._abort_flags = {}
+        self._holds = {}          # (txn_id, item_id) -> _Hold
+        self._txn_holds = {}      # txn_id -> set(item_id)
+        # txn_id -> "committed" / "aborted" / "aborted-server" once the
+        # transaction has finished but its holds are not all forwarded yet.
+        self._txn_state = {}
+
+    # -- message handlers ----------------------------------------------------
+
+    def _hold(self, txn_id, item_id):
+        key = (txn_id, item_id)
+        hold = self._holds.get(key)
+        if hold is None:
+            hold = self._holds[key] = _Hold(txn_id, item_id)
+            self._txn_holds.setdefault(txn_id, set()).add(item_id)
+        return hold
+
+    def on_GShip(self, msg):
+        hold = self._hold(msg.txn_id, msg.item_id)
+        hold.mode = msg.mode
+        hold.version = msg.version
+        hold.value = msg.value
+        hold.fl_tail = msg.fl_tail
+        hold.group = msg.group
+        hold.data_received = True
+        if msg.await_releases_from:
+            hold.awaiting = set(msg.await_releases_from) - hold.early_releases
+        hold.early_releases = set()
+        self._progress(hold)
+
+    def on_ReaderRelease(self, msg):
+        hold = self._hold(msg.to_txn, msg.item_id)
+        if msg.carries_data and not hold.data_received:
+            # Basic mode: the data and the remaining FL arrive with the
+            # (first) reader release; the writer executes once the whole
+            # group has released.
+            hold.mode = LockMode.WRITE
+            hold.version = msg.version
+            hold.value = msg.value
+            hold.fl_tail = msg.fl_from_writer
+            hold.group = msg.group
+            hold.gate_releases = True
+            hold.awaiting = set(msg.group) - hold.early_releases - {msg.from_txn}
+            hold.early_releases = set()
+            hold.data_received = True
+        elif hold.data_received:
+            hold.awaiting.discard(msg.from_txn)
+        else:
+            # MR1W race guard: release beats the concurrent GShip.
+            hold.early_releases.add(msg.from_txn)
+        self._progress(hold)
+
+    def on_AbortNotice(self, msg):
+        txn = self._active.get(msg.txn_id)
+        if txn is not None:
+            pending = self._grant_events.get(msg.txn_id)
+            if pending is not None and not pending[1].triggered:
+                del self._grant_events[msg.txn_id]
+                pending[1].succeed(msg)
+            else:
+                self._abort_flags[msg.txn_id] = msg
+        for item_id in msg.expect_items:
+            # Items frozen into dispatched chains still arrive here and must
+            # be forwarded on the dead transaction's behalf.
+            self._hold(msg.txn_id, item_id)
+        if txn is None and msg.txn_id not in self._txn_state:
+            # Defensive: notice for a transaction this client no longer runs.
+            self._txn_state[msg.txn_id] = "aborted-server"
+            self._try_release(msg.txn_id)
+        # An active txn is finished by its coroutine, which releases holds.
+
+    # -- hold progression ------------------------------------------------------
+
+    def _progress(self, hold):
+        if hold.ready_for_txn:
+            pending = self._grant_events.get(hold.txn_id)
+            if (pending is not None and pending[0] == hold.item_id
+                    and not pending[1].triggered):
+                del self._grant_events[hold.txn_id]
+                pending[1].succeed(hold)
+        self._try_release(hold.txn_id)
+
+    def _try_release(self, txn_id):
+        """Forward whatever this finished transaction may release.
+
+        A *committed* transaction releases all-or-nothing: no hold moves
+        while any MR1W awaiting-set is non-empty, because forwarding any
+        update of the writer before its readers released would let another
+        transaction observe the writer's effects while serialising before
+        it (strictness at transaction granularity). An *aborted* transaction
+        forwards unchanged data per item as soon as it arrives.
+        """
+        state = self._txn_state.get(txn_id)
+        if state is None:
+            return
+        item_ids = self._txn_holds.get(txn_id, ())
+        holds = [self._holds[(txn_id, item)] for item in list(item_ids)]
+        if state == "committed":
+            if any(not h.data_received or h.awaiting for h in holds):
+                return
+            for hold in holds:
+                self._forward(hold)
+        else:
+            for hold in holds:
+                if hold.data_received and not hold.awaiting and not hold.released:
+                    self._forward(hold)
+        self._maybe_done(txn_id)
+
+    def _maybe_done(self, txn_id):
+        """Once every hold has been forwarded, tell the server the
+        transaction is fully over (it leaves the precedence graph only
+        then — it can still constrain orders while it holds data)."""
+        if self._txn_holds.get(txn_id):
+            return
+        state = self._txn_state.pop(txn_id, None)
+        if state in ("committed", "aborted"):
+            self.send_control(self.server_id,
+                              TxnDone(txn_id=txn_id,
+                                      committed=state == "committed"))
+
+    def _forward(self, hold):
+        """Pass the item to the FL successor (or home to the server)."""
+        hold.released = True
+        if hold.mode is LockMode.WRITE and hold.committed_write:
+            out_version = hold.version + 1
+            out_value = hold.new_value
+        else:
+            out_version = hold.version
+            out_value = hold.value
+        fl = hold.fl_tail
+        if hold.mode is LockMode.READ:
+            rest = fl.tail(1) if fl is not None and len(fl) else ForwardList()
+            if rest:
+                writer = rest.head.writer
+                carries = not self.config.mr1w
+                self.send(writer.client_id,
+                          ReaderRelease(
+                              item_id=hold.item_id, from_txn=hold.txn_id,
+                              to_txn=writer.txn_id, version=out_version,
+                              value=out_value if carries else None,
+                              fl_from_writer=rest if carries else None,
+                              group=hold.group, carries_data=carries),
+                          size=(self.data_ship_size(fl=rest)
+                                if carries else CONTROL_SIZE))
+            else:
+                self.send(self.server_id,
+                          ReturnToServer(item_id=hold.item_id,
+                                         version=out_version, value=out_value,
+                                         from_txn=hold.txn_id,
+                                         outcomes={hold.txn_id: "done"}),
+                          size=self.data_ship_size())
+        else:
+            rest = fl.tail(1) if fl is not None and len(fl) else ForwardList()
+            if rest:
+                dispatch_chain(self, hold.item_id, out_version, out_value,
+                               rest, mr1w=self.config.mr1w)
+            else:
+                self.send(self.server_id,
+                          ReturnToServer(item_id=hold.item_id,
+                                         version=out_version, value=out_value,
+                                         from_txn=hold.txn_id,
+                                         outcomes={hold.txn_id: "done"}),
+                          size=self.data_ship_size())
+        self._holds.pop((hold.txn_id, hold.item_id), None)
+        item_set = self._txn_holds.get(hold.txn_id)
+        if item_set is not None:
+            item_set.discard(hold.item_id)
+            if not item_set:
+                del self._txn_holds[hold.txn_id]
+
+    # -- transaction execution -------------------------------------------------
+
+    def execute(self, txn):
+        """Process body: run one transaction to commit or abort."""
+        start_time = self.sim.now
+        self._active[txn.txn_id] = txn
+        try:
+            for op in txn.spec.operations:
+                self.send(self.server_id,
+                          LockRequest(txn_id=txn.txn_id, item_id=op.item_id,
+                                      mode=op.mode, client_id=self.client_id),
+                          size=CONTROL_SIZE)
+                requested_at = self.sim.now
+                event = self.sim.event()
+                self._grant_events[txn.txn_id] = (op.item_id, event)
+                # The hold may already be ready (e.g. data raced ahead);
+                # re-check before suspending.
+                hold = self._holds.get((txn.txn_id, op.item_id))
+                if hold is not None and hold.ready_for_txn \
+                        and not event.triggered:
+                    del self._grant_events[txn.txn_id]
+                    event.succeed(hold)
+                msg = yield event
+                if isinstance(msg, AbortNotice):
+                    txn.abort(msg.reason)
+                    break
+                self.op_waits.append(self.sim.now - requested_at)
+                hold = msg
+                yield self.sim.timeout(op.think_time)
+                notice = self._abort_flags.pop(txn.txn_id, None)
+                if notice is not None:
+                    txn.abort(notice.reason)
+                    break
+                txn.ops_done += 1
+                if op.mode is LockMode.WRITE:
+                    new_version = hold.version + 1
+                    hold.committed_write = True  # finalised below on abort
+                    hold.new_value = f"t{txn.txn_id}v{new_version}"
+                    self.history.record_access(
+                        txn.txn_id, op.item_id, op.mode, new_version,
+                        self.sim.now)
+                else:
+                    self.history.record_access(
+                        txn.txn_id, op.item_id, op.mode, hold.version,
+                        self.sim.now)
+            else:
+                txn.commit()
+        finally:
+            self._active.pop(txn.txn_id, None)
+            self._grant_events.pop(txn.txn_id, None)
+            self._abort_flags.pop(txn.txn_id, None)
+        end_time = self.sim.now
+        committed = txn.status.value == "committed"
+        if committed:
+            self.history.record_commit(txn.txn_id, time=self.sim.now)
+            self._txn_state[txn.txn_id] = "committed"
+        else:
+            self.history.record_abort(txn.txn_id)
+            # Server-initiated aborts (the only kind in g-2PL) were already
+            # retired from the precedence graph; no TxnDone follows.
+            self._txn_state[txn.txn_id] = (
+                "aborted-server" if txn.abort_reason == "precedence-cycle"
+                else "aborted")
+            for item_id in list(self._txn_holds.get(txn.txn_id, ())):
+                self._holds[(txn.txn_id, item_id)].committed_write = False
+        self._try_release(txn.txn_id)
+        return self.make_outcome(txn, start_time, end_time)

@@ -1,0 +1,169 @@
+"""Protocol message payloads.
+
+Message sizes are in abstract data units: control messages cost
+``CONTROL_SIZE``, every shipped copy of a data item adds the configured item
+size, and a piggybacked forward list adds ``FL_ENTRY_SIZE`` per entry. With
+the paper's infinite-bandwidth assumption sizes only feed the traffic
+statistics; the A2 ablation gives them teeth.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+CONTROL_SIZE = 1.0
+FL_ENTRY_SIZE = 0.25
+
+
+@dataclass(frozen=True)
+class LockRequest:
+    """Client → server: request ``item_id`` in ``mode`` for ``txn_id``."""
+
+    txn_id: int
+    item_id: int
+    mode: object  # LockMode
+    client_id: int = None
+
+
+@dataclass(frozen=True)
+class DataShip:
+    """Server → client (s-2PL/c-2PL): lock granted, data attached."""
+
+    txn_id: int
+    item_id: int
+    version: int
+    value: object
+    mode: object
+    from_cache_grant: bool = False
+
+
+@dataclass(frozen=True)
+class CommitRelease:
+    """Client → server (s-2PL): transaction commit; carries all updates."""
+
+    txn_id: int
+    updates: dict  # item_id -> new value
+    read_items: tuple = ()
+
+
+@dataclass(frozen=True)
+class AbortRelease:
+    """Client → server (s-2PL): client-initiated abort; locks to release."""
+
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class AbortNotice:
+    """Server → client: ``txn_id`` was aborted.
+
+    ``expect_items`` (g-2PL) lists items frozen into dispatched forward
+    lists that will still arrive at this client and must be forwarded
+    onward on behalf of the dead transaction.
+    """
+
+    txn_id: int
+    reason: str
+    expect_items: tuple = ()
+
+
+@dataclass(frozen=True)
+class GShip:
+    """g-2PL data dispatch (server → client or client → client).
+
+    Delivers ``item_id`` to ``txn_id`` together with the remaining forward
+    list ``fl_tail`` (the entries *after* the recipient's own entry).
+
+    ``release_to`` tells a reader where its release must go: a
+    ``(txn_id, client_id)`` pair for the next writer, or ``None`` for the
+    server. ``group`` is the recipient's read-group membership (txn ids),
+    used by the next writer to count releases. ``await_releases_from`` is
+    non-empty for a writer shipped concurrently with its preceding read
+    group under MR1W.
+    """
+
+    txn_id: int
+    item_id: int
+    version: int
+    value: object
+    mode: object
+    fl_tail: object  # ForwardList
+    group: tuple = ()
+    release_to: Optional[tuple] = None  # (txn_id, client_id) or None
+    await_releases_from: tuple = ()
+
+
+@dataclass(frozen=True)
+class ReaderRelease:
+    """g-2PL reader → next writer: read lock released.
+
+    Under basic g-2PL (no MR1W) the writer has not yet received the data,
+    so the release carries the unchanged value and the forward list from
+    the writer's entry onward.
+    """
+
+    item_id: int
+    from_txn: int
+    to_txn: int
+    version: int
+    value: object = None
+    fl_from_writer: object = None  # ForwardList, basic mode only
+    group: tuple = ()              # the releasing reader's group (txn ids)
+    carries_data: bool = False
+
+
+@dataclass(frozen=True)
+class ReturnToServer:
+    """g-2PL last-entry client → server: item comes home.
+
+    ``outcomes`` maps txn_id -> "committed" / "aborted" for the chain
+    members this sender knows terminated (piggybacked bookkeeping).
+    """
+
+    item_id: int
+    version: int
+    value: object
+    from_txn: int
+    outcomes: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TxnDone:
+    """g-2PL client → server: transaction outcome notification.
+
+    Carried for transactions whose items all went to *other clients*
+    rather than back to the server, so the server can retire them from the
+    precedence graph. Piggybacks on the network like any control message.
+    """
+
+    txn_id: int
+    committed: bool
+
+
+@dataclass(frozen=True)
+class CommitAck:
+    """Server → client (2V-2PL): the commit certified and installed."""
+
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class CacheRecall:
+    """c-2PL server → caching client: give back your cached read lock."""
+
+    item_id: int
+
+
+@dataclass(frozen=True)
+class CacheRecallAck:
+    """c-2PL client → server.
+
+    ``final=True`` means the cached copy is dropped. ``final=False`` is a
+    busy notification: the copy is in use by local transaction ``busy_txn``
+    and will be dropped (with a final ack) when that transaction ends — the
+    server uses ``busy_txn`` to extend the wait-for graph.
+    """
+
+    item_id: int
+    client_id: int
+    final: bool = True
+    busy_txn: int = None

@@ -1,0 +1,173 @@
+"""The transaction precedence graph (§3.3).
+
+A DAG over live transactions: an edge ``a -> b`` means "a accesses every
+shared item before b", i.e. a precedes b on some forward list (or a is on a
+dispatched chain that b's pending request must follow). Deadlock avoidance
+reduces to keeping this graph acyclic:
+
+* **Fixed edges** (dispatched chain member -> new request) cannot be
+  reordered; if such an edge would close a cycle the conflicting order is
+  already frozen and the offending transaction must abort.
+* **Window edges** are chosen at freeze time: the window's requests are
+  ordered by a linear extension of the reachability relation the graph
+  already imposes on them, so freezing never creates a cycle.
+"""
+
+
+class CycleError(Exception):
+    """Adding this edge would create a cycle (deadlock unavoidable)."""
+
+    def __init__(self, src, dst):
+        super().__init__(f"edge {src!r} -> {dst!r} closes a precedence cycle")
+        self.src = src
+        self.dst = dst
+
+
+class PrecedenceGraph:
+    """Directed acyclic graph with cycle-refusing edge insertion."""
+
+    def __init__(self):
+        self._out = {}
+        self._in = {}
+
+    def add_node(self, node):
+        self._out.setdefault(node, set())
+        self._in.setdefault(node, set())
+
+    def __contains__(self, node):
+        return node in self._out
+
+    def __len__(self):
+        return len(self._out)
+
+    @property
+    def edge_count(self):
+        return sum(len(edges) for edges in self._out.values())
+
+    def successors(self, node):
+        return set(self._out.get(node, ()))
+
+    def predecessors(self, node):
+        return set(self._in.get(node, ()))
+
+    def reaches(self, src, dst):
+        """Is there a directed path from ``src`` to ``dst``? (src != dst)"""
+        if src == dst:
+            return True
+        out = self._out
+        if src not in out or dst not in out:
+            return False
+        stack = [src]
+        seen = {src}
+        while stack:
+            node = stack.pop()
+            for nxt in out.get(node, ()):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def would_cycle(self, src, dst):
+        """Would adding ``src -> dst`` close a cycle?"""
+        return src == dst or self.reaches(dst, src)
+
+    def add_edge(self, src, dst):
+        """Insert ``src -> dst``; raises :class:`CycleError` if it cycles.
+
+        Idempotent for existing edges.
+        """
+        if src == dst:
+            raise CycleError(src, dst)
+        if dst in self._out.get(src, ()):
+            return
+        if self.reaches(dst, src):
+            raise CycleError(src, dst)
+        self.add_node(src)
+        self.add_node(dst)
+        self._out[src].add(dst)
+        self._in[dst].add(src)
+
+    def remove_node(self, node):
+        """Drop a terminated transaction and all its edges."""
+        for nxt in self._out.pop(node, ()):
+            self._in[nxt].discard(node)
+        for prev in self._in.pop(node, ()):
+            self._out[prev].discard(node)
+
+    def linear_extension(self, nodes, key=None):
+        """Order ``nodes`` consistently with reachability between them.
+
+        Builds the induced partial order (u before v iff ``reaches(u, v)``)
+        and returns a linear extension; among unconstrained nodes, ``key``
+        (default: input order) decides — so FIFO arrival order is preserved
+        wherever the DAG does not force otherwise. Chaining edges along the
+        returned order can never create a cycle.
+        """
+        nodes = list(nodes)
+        if key is None:
+            rank = {node: i for i, node in enumerate(nodes)}
+            key = rank.__getitem__
+        # Induced edges among the subset (transitive reachability).
+        out_edges = {node: set() for node in nodes}
+        in_degree = {node: 0 for node in nodes}
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                if self.reaches(u, v):
+                    out_edges[u].add(v)
+                    in_degree[v] += 1
+                elif self.reaches(v, u):
+                    out_edges[v].add(u)
+                    in_degree[u] += 1
+        ready = sorted((n for n in nodes if in_degree[n] == 0), key=key)
+        order = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            changed = False
+            for nxt in out_edges[node]:
+                in_degree[nxt] -= 1
+                if in_degree[nxt] == 0:
+                    ready.append(nxt)
+                    changed = True
+            if changed:
+                ready.sort(key=key)
+        if len(order) != len(nodes):  # pragma: no cover - DAG invariant
+            raise AssertionError("induced subgraph of a DAG cannot cycle")
+        return order
+
+    def find_any_cycle(self):
+        """Return a cycle if one exists (the invariant says it must not)."""
+        color = {}
+        parent = {}
+        for root in self._out:
+            if root in color:
+                continue
+            stack = [(root, iter(self._out[root]))]
+            color[root] = "grey"
+            while stack:
+                node, iterator = stack[-1]
+                advanced = False
+                for nxt in iterator:
+                    if color.get(nxt) == "grey":
+                        cycle = [nxt, node]
+                        cursor = node
+                        while cursor != nxt:
+                            cursor = parent[cursor]
+                            cycle.append(cursor)
+                        cycle.reverse()
+                        return cycle
+                    if nxt not in color:
+                        color[nxt] = "grey"
+                        parent[nxt] = node
+                        stack.append((nxt, iter(self._out[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = "black"
+                    stack.pop()
+        return None
+
+    def __repr__(self):
+        return f"<PrecedenceGraph {len(self)} nodes, {self.edge_count} edges>"

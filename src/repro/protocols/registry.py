@@ -1,0 +1,74 @@
+"""Protocol registry: map names to (server, client) implementations."""
+
+
+def _s2pl():
+    from repro.protocols.s2pl import S2PLClient, S2PLServer
+
+    return S2PLServer, S2PLClient, {}
+
+
+def _g2pl():
+    from repro.protocols.g2pl import G2PLClient, G2PLServer
+
+    return G2PLServer, G2PLClient, {}
+
+
+def _g2pl_basic():
+    from repro.protocols.g2pl import G2PLClient, G2PLServer
+
+    return G2PLServer, G2PLClient, {"mr1w": False}
+
+
+def _g2pl_ro():
+    from repro.protocols.g2pl import G2PLClient, G2PLServer
+
+    return G2PLServer, G2PLClient, {"expand_read_groups": True}
+
+
+def _c2pl():
+    from repro.protocols.c2pl import C2PLClient, C2PLServer
+
+    return C2PLServer, C2PLClient, {}
+
+
+def _2v2pl():
+    from repro.protocols.twoversion import TwoVersionClient, TwoVersionServer
+
+    return TwoVersionServer, TwoVersionClient, {}
+
+
+_REGISTRY = {
+    "s2pl": _s2pl,
+    "g2pl": _g2pl,           # lock grouping + avoidance + MR1W (the paper's g-2PL)
+    "g2pl-basic": _g2pl_basic,  # lock grouping + avoidance, no MR1W
+    "g2pl-ro": _g2pl_ro,     # g-2PL + read-only FL expansion (future work)
+    "c2pl": _c2pl,           # caching 2PL with callbacks (ablation A5)
+    "2v2pl": _2v2pl,         # two-version 2PL, the §3.4 comparator (A7)
+}
+
+
+def available_protocols():
+    """Names accepted by :func:`make_protocol` / ``SimulationConfig.protocol``."""
+    return sorted(_REGISTRY)
+
+
+def make_protocol(name, sim, config, store, wal, history, client_ids):
+    """Instantiate the protocol's server and one client per id.
+
+    Protocol variants may pin config fields (e.g. ``g2pl-basic`` forces
+    ``mr1w=False``); a config that explicitly contradicts a pin is rejected
+    to avoid silently running something other than what was asked for.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        ) from None
+    server_cls, client_cls, overrides = factory()
+    if overrides:
+        config = config.replace(**overrides)
+    server = server_cls(sim, config, store, wal, history)
+    clients = {client_id: client_cls(sim, client_id, config, history)
+               for client_id in client_ids}
+    return server, clients

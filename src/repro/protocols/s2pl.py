@@ -1,0 +1,242 @@
+"""Server-based strict two-phase locking (s-2PL), the paper's baseline.
+
+Protocol (§3.1, §4):
+
+* Growing phase — the client requests each data item in turn; the server
+  acquires the lock (or queues the request) and ships the item when granted.
+* Shrinking phase — at commit the client sends a single release message
+  carrying all modified items; the server installs them (WAL first),
+  releases the locks and grants/ships to the next compatible waiters.
+* Deadlock handling — detection, initiated whenever a lock cannot be
+  granted: the server computes the wait-for graph and aborts transactions
+  until no cycle involves the new request. Aborted transactions are
+  replaced by fresh ones at the client (driver's job).
+"""
+
+from repro.locking.lock_table import LockRequestState, LockTable
+from repro.locking.modes import LockMode
+from repro.locking.waitfor import WaitForGraph
+from repro.protocols.base import ProtocolClient, ProtocolServer
+from repro.protocols.messages import (
+    AbortNotice,
+    AbortRelease,
+    CommitRelease,
+    CONTROL_SIZE,
+    DataShip,
+    LockRequest,
+)
+
+VICTIM_POLICIES = ("requester", "youngest", "oldest")
+
+
+class S2PLServer(ProtocolServer):
+    """The data server running strict 2PL."""
+
+    def __init__(self, sim, config, store, wal, history):
+        super().__init__(sim, config, store, wal, history)
+        self.lock_table = LockTable()
+        # txn_id -> (client_id, first_seen_time); live transactions only.
+        self._txns = {}
+        self._dead = set()
+        self.deadlocks_found = 0
+        if config.victim_policy not in VICTIM_POLICIES:
+            raise ValueError(
+                f"unknown victim policy {config.victim_policy!r}; "
+                f"choose from {VICTIM_POLICIES}")
+
+    # -- message handlers ----------------------------------------------------
+
+    def on_LockRequest(self, msg):
+        if msg.txn_id in self._dead:
+            return  # request from a transaction this server already aborted
+        if msg.txn_id not in self._txns:
+            self._txns[msg.txn_id] = (self._client_of(msg), self.sim.now)
+        state = self.lock_table.acquire(msg.txn_id, msg.item_id, msg.mode)
+        if state is LockRequestState.GRANTED:
+            self._ship(msg.txn_id, msg.item_id, msg.mode)
+            return
+        self._detect_and_resolve(msg.txn_id)
+
+    def on_CommitRelease(self, msg):
+        if msg.txn_id in self._dead:
+            # Defensive: a victim cannot normally commit (victims are always
+            # waiting), but if it happens the updates are discarded and the
+            # locks finally released.
+            self._dead.discard(msg.txn_id)
+            self._finish(msg.txn_id)
+            return
+        self.install_updates(msg.txn_id, msg.updates)
+        self._finish(msg.txn_id)
+
+    def on_AbortRelease(self, msg):
+        # The aborted client finished rolling back: now the locks go.
+        self._dead.discard(msg.txn_id)
+        self._finish(msg.txn_id)
+
+    # -- internals -----------------------------------------------------------
+
+    def _client_of(self, msg):
+        # Transaction ids are globally unique; clients identify themselves
+        # implicitly by being the only site that ever mentions the txn.
+        # The envelope's source is not visible here, so the client id rides
+        # in the txn registry set up by the client protocol: by convention
+        # txn ids encode nothing, so the first LockRequest must tell us.
+        # We recover it from the message itself.
+        return msg.client_id
+
+    def _finish(self, txn_id):
+        self._txns.pop(txn_id, None)
+        granted = self.lock_table.release_all(txn_id)
+        for grantee, item_id, mode in granted:
+            self._grant(grantee, item_id, mode)
+
+    def _grant(self, txn_id, item_id, mode):
+        """A lock was granted from the queue; deliver it. Subclasses (c-2PL)
+        interpose callbacks here."""
+        self._ship(txn_id, item_id, mode)
+
+    def _ship(self, txn_id, item_id, mode):
+        client_id, _ = self._txns[txn_id]
+        item = self.store.read(item_id)
+        self.send(client_id,
+                  DataShip(txn_id=txn_id, item_id=item_id,
+                           version=item.version, value=item.value, mode=mode),
+                  size=self.data_ship_size())
+
+    def _build_waitfor_graph(self):
+        wfg = WaitForGraph()
+        table = self.lock_table
+        for item_id in list(table._items):
+            for txn_id, _mode in table.waiters(item_id):
+                wfg.add_edges(txn_id, table.blockers_of(txn_id, item_id))
+        return wfg
+
+    def _detect_and_resolve(self, requester):
+        """Abort transactions until no wait-for cycle involves ``requester``."""
+        while True:
+            wfg = self._build_waitfor_graph()
+            cycle = wfg.find_cycle_from(requester)
+            if cycle is None:
+                return
+            self.deadlocks_found += 1
+            victim = self._choose_victim(cycle)
+            self._abort(victim, reason="deadlock")
+            if victim == requester:
+                return
+
+    def _choose_victim(self, cycle):
+        members = list(dict.fromkeys(cycle))  # unique, order-preserving
+        policy = self.config.victim_policy
+        if policy == "requester":
+            return members[0]
+        ages = {txn: self._txns[txn][1] for txn in members}
+        if policy == "youngest":
+            return max(members, key=lambda txn: (ages[txn], txn))
+        return min(members, key=lambda txn: (ages[txn], txn))
+
+    def _abort(self, txn_id, reason):
+        """Choose ``txn_id`` as a deadlock victim.
+
+        Its wait edges disappear immediately (queued requests dropped), but
+        its *held* locks are released only when the client has rolled back
+        and its abort-release round trip completes — the same shape as a
+        commit release. (Victims are always waiting transactions: every
+        member of a wait-for cycle waits for someone.)
+        """
+        client_id, _ = self._txns[txn_id]
+        self._dead.add(txn_id)
+        self.aborts_initiated += 1
+        for grantee, item_id, mode in self.lock_table.drop_queued(txn_id):
+            self._grant(grantee, item_id, mode)
+        self.send(client_id, AbortNotice(txn_id=txn_id, reason=reason),
+                  size=CONTROL_SIZE)
+
+
+class S2PLClient(ProtocolClient):
+    """A client site running strict 2PL transactions."""
+
+    def __init__(self, sim, client_id, config, history):
+        super().__init__(sim, client_id, config, history)
+        self._active = {}        # txn_id -> Transaction
+        self._grant_events = {}  # txn_id -> Event while waiting
+        self._abort_flags = {}   # txn_id -> AbortNotice arriving off-wait
+
+    # -- message handlers ----------------------------------------------------
+
+    def on_DataShip(self, msg):
+        if msg.txn_id not in self._active:
+            return  # stale ship for an already-aborted transaction
+        event = self._grant_events.pop(msg.txn_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(msg)
+
+    def on_AbortNotice(self, msg):
+        if msg.txn_id not in self._active:
+            return
+        event = self._grant_events.pop(msg.txn_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(msg)
+        else:
+            self._abort_flags[msg.txn_id] = msg
+
+    # -- transaction execution ----------------------------------------------
+
+    def execute(self, txn):
+        """Process body: run one transaction to commit or abort."""
+        start_time = self.sim.now
+        self._active[txn.txn_id] = txn
+        updates = {}
+        read_items = []
+        try:
+            for op in txn.spec.operations:
+                self.send(self.server_id,
+                          LockRequest(txn_id=txn.txn_id, item_id=op.item_id,
+                                      mode=op.mode, client_id=self.client_id),
+                          size=CONTROL_SIZE)
+                requested_at = self.sim.now
+                event = self.sim.event()
+                self._grant_events[txn.txn_id] = event
+                msg = yield event
+                if isinstance(msg, AbortNotice):
+                    txn.abort(msg.reason)
+                    break
+                self.op_waits.append(self.sim.now - requested_at)
+                yield self.sim.timeout(op.think_time)
+                notice = self._abort_flags.pop(txn.txn_id, None)
+                if notice is not None:
+                    txn.abort(notice.reason)
+                    break
+                txn.ops_done += 1
+                if op.mode is LockMode.WRITE:
+                    new_version = msg.version + 1
+                    updates[op.item_id] = f"t{txn.txn_id}v{new_version}"
+                    self.history.record_access(
+                        txn.txn_id, op.item_id, op.mode, new_version,
+                        self.sim.now)
+                else:
+                    read_items.append(op.item_id)
+                    self.history.record_access(
+                        txn.txn_id, op.item_id, op.mode, msg.version,
+                        self.sim.now)
+            else:
+                txn.commit()
+        finally:
+            self._active.pop(txn.txn_id, None)
+            self._grant_events.pop(txn.txn_id, None)
+            self._abort_flags.pop(txn.txn_id, None)
+        end_time = self.sim.now
+        if txn.running:  # pragma: no cover - loop always settles status
+            raise AssertionError("transaction left running")
+        if txn.status.value == "committed":
+            self.history.record_commit(txn.txn_id, time=self.sim.now)
+            self.send(self.server_id,
+                      CommitRelease(txn_id=txn.txn_id, updates=updates,
+                                    read_items=tuple(read_items)),
+                      size=CONTROL_SIZE
+                      + len(updates) * self.config.data_item_size)
+        else:
+            self.history.record_abort(txn.txn_id)
+            # Roll back locally, then tell the server to release the locks.
+            self.send(self.server_id, AbortRelease(txn_id=txn.txn_id),
+                      size=CONTROL_SIZE)
+        return self.make_outcome(txn, start_time, end_time)

@@ -1,0 +1,348 @@
+"""Two-version (two-copy) 2PL: the §3.4 comparison point.
+
+The paper remarks that with MR1W "the g-2PL protocol ... behaves similar
+to the two-copy version s-2PL protocol [21] which allows more concurrency
+than the standard s-2PL protocol". This module implements that comparator
+so the remark can be measured (ablation A7).
+
+Two-version 2PL (Bernstein/Hadzilacos/Goodman, ch. 5) at the data server:
+
+* Readers take **read locks** and always read the *committed* copy.
+* A writer takes a **write lock** (one writer at a time, writers queue),
+  receives the committed copy, and prepares a new version *concurrently
+  with active readers* — read and write locks do not conflict.
+* Commit is a server-side protocol step: the client sends a commit
+  *request* and waits for the ack. The server must **certify** every
+  written item — convert the write lock into a certify lock, which
+  conflicts with read locks — so the commit waits until all readers of
+  the written items have released. Certify waits are ordinary waits: they
+  feed the wait-for graph and can deadlock (two committers each reading
+  what the other wrote), in which case one commit request is refused and
+  the transaction aborts.
+* Only after certification are the new versions installed, all locks
+  (including the transaction's read locks) released, and the ack sent.
+
+So reads never wait for writes; writes execute concurrently with reads;
+writers' *commits* serialize behind the readers — MR1W's "execute now,
+release updates after the readers" expressed at the server instead of on
+a forward list. The client-observed response time includes the commit
+round trip (the price of server-certified commits).
+"""
+
+from collections import OrderedDict, deque
+
+from repro.locking.modes import LockMode
+from repro.locking.waitfor import WaitForGraph
+from repro.protocols.base import ProtocolServer
+from repro.protocols.messages import (
+    AbortNotice,
+    AbortRelease,
+    CommitAck,
+    CommitRelease,
+    CONTROL_SIZE,
+    DataShip,
+    LockRequest,
+)
+from repro.protocols.s2pl import S2PLClient
+
+
+class _ItemState:
+    """Two-version lock state of one item."""
+
+    __slots__ = ("readers", "writer", "certifying", "queue")
+
+    def __init__(self):
+        self.readers = OrderedDict()   # txn -> True (insertion order)
+        self.writer = None             # txn holding the write lock
+        self.certifying = None         # txn whose commit holds the certify lock
+        self.queue = deque()           # (txn, mode) waiting
+
+    @property
+    def write_locked(self):
+        return self.writer is not None or self.certifying is not None
+
+
+class TwoVersionServer(ProtocolServer):
+    """The data server running two-version 2PL with certified commits."""
+
+    def __init__(self, sim, config, store, wal, history):
+        super().__init__(sim, config, store, wal, history)
+        self._items = {}
+        self._txns = {}     # txn_id -> client_id
+        self._dead = set()
+        # txn -> {"updates": dict, "waiting_on": set(item_id)}
+        self._certifications = {}
+        self.deadlocks_found = 0
+        self.certify_waits = 0
+
+    def _item(self, item_id):
+        state = self._items.get(item_id)
+        if state is None:
+            state = self._items[item_id] = _ItemState()
+        return state
+
+    # -- message handlers ----------------------------------------------------
+
+    def on_LockRequest(self, msg):
+        if msg.txn_id in self._dead:
+            return
+        self._txns.setdefault(msg.txn_id, msg.client_id)
+        state = self._item(msg.item_id)
+        if msg.mode is LockMode.READ:
+            # Reads conflict only with the certify lock. (They may pass
+            # queued writers: read and write locks are compatible in 2V.)
+            if state.certifying is None:
+                state.readers[msg.txn_id] = True
+                self._ship(msg.txn_id, msg.item_id)
+                return
+            state.queue.append((msg.txn_id, LockMode.READ))
+            self._detect(msg.txn_id)
+            return
+        if not state.write_locked and not any(
+                mode is LockMode.WRITE for _t, mode in state.queue):
+            state.writer = msg.txn_id
+            self._ship(msg.txn_id, msg.item_id)
+        else:
+            state.queue.append((msg.txn_id, LockMode.WRITE))
+            self._detect(msg.txn_id)
+
+    def on_CommitRelease(self, msg):
+        """A commit *request*: certify the written items, then finalise."""
+        if msg.txn_id in self._dead:
+            return
+        waiting_on = set()
+        for item_id in msg.updates:
+            state = self._item(item_id)
+            if state.writer != msg.txn_id:
+                continue  # defensive
+            state.writer = None
+            state.certifying = msg.txn_id
+            if any(txn != msg.txn_id for txn in state.readers):
+                waiting_on.add(item_id)
+        self._certifications[msg.txn_id] = {
+            "updates": dict(msg.updates), "waiting_on": waiting_on}
+        if waiting_on:
+            self.certify_waits += 1
+            self._detect(msg.txn_id)
+            if msg.txn_id in self._dead:
+                return
+        self._retry_certifications()
+
+    def on_AbortRelease(self, msg):
+        self._dead.discard(msg.txn_id)
+        self._release_everything(msg.txn_id)
+
+    # -- internals -----------------------------------------------------------
+
+    def _ship(self, txn_id, item_id):
+        client_id = self._txns[txn_id]
+        item = self.store.read(item_id)
+        self.send(client_id,
+                  DataShip(txn_id=txn_id, item_id=item_id,
+                           version=item.version, value=item.value,
+                           mode=None),
+                  size=self.data_ship_size())
+
+    def _finalise_commit(self, txn_id, updates):
+        self.install_updates(txn_id, updates)
+        client_id = self._txns.get(txn_id)
+        self._release_everything(txn_id)
+        if client_id is not None:
+            self.send(client_id, CommitAck(txn_id=txn_id),
+                      size=CONTROL_SIZE)
+
+    def _release_everything(self, txn_id):
+        self._txns.pop(txn_id, None)
+        self._certifications.pop(txn_id, None)
+        for item_id, state in list(self._items.items()):
+            state.readers.pop(txn_id, None)
+            if state.writer == txn_id:
+                state.writer = None
+            if state.certifying == txn_id:
+                state.certifying = None
+            if state.queue:
+                state.queue = deque(entry for entry in state.queue
+                                    if entry[0] != txn_id)
+        self._drain_queues()
+        self._retry_certifications()
+
+    def _drain_queues(self):
+        for item_id, state in list(self._items.items()):
+            # Reads wait ONLY on the certify lock (they are compatible with
+            # write locks), so every queued read is grantable the moment no
+            # certification holds — they must not sit behind queued writers,
+            # or the queue manufactures waits the wait-for graph does not
+            # model (an undetectable stall).
+            if state.certifying is None and state.queue:
+                reads = [txn for txn, mode in state.queue
+                         if mode is LockMode.READ]
+                if reads:
+                    state.queue = deque(
+                        (txn, mode) for txn, mode in state.queue
+                        if mode is not LockMode.READ)
+                    for txn_id in reads:
+                        state.readers[txn_id] = True
+                        self._ship(txn_id, item_id)
+            while state.queue and not state.write_locked:
+                txn_id, _mode = state.queue.popleft()
+                state.writer = txn_id
+                self._ship(txn_id, item_id)
+
+    def _retry_certifications(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            for txn_id in list(self._certifications):
+                pending = self._certifications.get(txn_id)
+                if pending is None:
+                    continue
+                still = {item_id for item_id in pending["waiting_on"]
+                         if any(txn != txn_id
+                                for txn in self._item(item_id).readers)}
+                if still:
+                    pending["waiting_on"] = still
+                    continue
+                del self._certifications[txn_id]
+                self._finalise_commit(txn_id, pending["updates"])
+                progressed = True
+
+    # -- deadlock handling -----------------------------------------------------
+
+    def _build_waitfor_graph(self):
+        wfg = WaitForGraph()
+        for item_id, state in self._items.items():
+            write_ahead = []
+            if state.certifying is not None:
+                write_ahead.append(state.certifying)
+            if state.writer is not None:
+                write_ahead.append(state.writer)
+            cert_ahead = ([state.certifying]
+                          if state.certifying is not None else [])
+            for txn_id, mode in state.queue:
+                if mode is LockMode.WRITE:
+                    wfg.add_edges(txn_id, write_ahead)
+                    write_ahead = write_ahead + [txn_id]
+                else:
+                    wfg.add_edges(txn_id, cert_ahead)
+        for txn_id, pending in self._certifications.items():
+            for item_id in pending["waiting_on"]:
+                wfg.add_edges(txn_id, [t for t in
+                                       self._item(item_id).readers
+                                       if t != txn_id])
+        return wfg
+
+    def _detect(self, requester):
+        cycle = self._build_waitfor_graph().find_cycle_from(requester)
+        if cycle is None:
+            return
+        self.deadlocks_found += 1
+        self._abort(requester, reason="deadlock")
+
+    def _abort(self, txn_id, reason):
+        client_id = self._txns.get(txn_id)
+        if client_id is None or txn_id in self._dead:
+            return
+        self._dead.add(txn_id)
+        self.aborts_initiated += 1
+        # Wait edges vanish now: queued requests and any pending
+        # certification of the victim are dropped (the certify locks it
+        # took revert so others can progress); held read/write locks go
+        # when the client's abort-release arrives.
+        pending = self._certifications.pop(txn_id, None)
+        if pending is not None:
+            # Certify locks revert to plain write locks, still held by the
+            # victim until its abort-release arrives (symmetric rollback).
+            for item_id in pending["updates"]:
+                state = self._item(item_id)
+                if state.certifying == txn_id:
+                    state.certifying = None
+                    state.writer = txn_id
+        for state in self._items.values():
+            if state.queue:
+                state.queue = deque(entry for entry in state.queue
+                                    if entry[0] != txn_id)
+        self._drain_queues()
+        self._retry_certifications()
+        self.send(client_id, AbortNotice(txn_id=txn_id, reason=reason),
+                  size=CONTROL_SIZE)
+
+
+class TwoVersionClient(S2PLClient):
+    """Client side: s-2PL flow plus a commit round trip.
+
+    After the last operation the client sends the commit request and
+    waits for the server's ack (certification may refuse it with an
+    abort). History commit/abort is recorded at the outcome, so the
+    validator sees exactly what the server decided.
+    """
+
+    def on_CommitAck(self, msg):
+        if msg.txn_id not in self._active:
+            return
+        event = self._grant_events.pop(msg.txn_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(msg)
+
+    def execute(self, txn):
+        start_time = self.sim.now
+        self._active[txn.txn_id] = txn
+        updates = {}
+        decided_by_server = False
+        try:
+            for op in txn.spec.operations:
+                self.send(self.server_id,
+                          LockRequest(txn_id=txn.txn_id, item_id=op.item_id,
+                                      mode=op.mode, client_id=self.client_id),
+                          size=CONTROL_SIZE)
+                requested_at = self.sim.now
+                event = self.sim.event()
+                self._grant_events[txn.txn_id] = event
+                msg = yield event
+                if isinstance(msg, AbortNotice):
+                    txn.abort(msg.reason)
+                    break
+                self.op_waits.append(self.sim.now - requested_at)
+                yield self.sim.timeout(op.think_time)
+                notice = self._abort_flags.pop(txn.txn_id, None)
+                if notice is not None:
+                    txn.abort(notice.reason)
+                    break
+                txn.ops_done += 1
+                if op.mode is LockMode.WRITE:
+                    new_version = msg.version + 1
+                    updates[op.item_id] = f"t{txn.txn_id}v{new_version}"
+                    self.history.record_access(
+                        txn.txn_id, op.item_id, op.mode, new_version,
+                        self.sim.now)
+                else:
+                    self.history.record_access(
+                        txn.txn_id, op.item_id, op.mode, msg.version,
+                        self.sim.now)
+            else:
+                # Commit request: the server certifies and acks (or aborts).
+                self.send(self.server_id,
+                          CommitRelease(txn_id=txn.txn_id, updates=updates,
+                                        read_items=()),
+                          size=CONTROL_SIZE
+                          + len(updates) * self.config.data_item_size)
+                event = self.sim.event()
+                self._grant_events[txn.txn_id] = event
+                msg = yield event
+                decided_by_server = True
+                if isinstance(msg, AbortNotice):
+                    txn.abort(msg.reason)
+                else:
+                    txn.commit()
+        finally:
+            self._active.pop(txn.txn_id, None)
+            self._grant_events.pop(txn.txn_id, None)
+            self._abort_flags.pop(txn.txn_id, None)
+        end_time = self.sim.now
+        if txn.status.value == "committed":
+            self.history.record_commit(txn.txn_id, time=self.sim.now)
+        else:
+            self.history.record_abort(txn.txn_id)
+            # Roll back; locks release at the server when this arrives.
+            self.send(self.server_id, AbortRelease(txn_id=txn.txn_id),
+                      size=CONTROL_SIZE)
+        return self.make_outcome(txn, start_time, end_time)

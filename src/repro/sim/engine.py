@@ -1,0 +1,140 @@
+"""The simulator: clock, event heap, and run loop."""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class Simulator:
+    """Owns the simulation clock and executes events in timestamp order.
+
+    Determinism: entries at equal timestamps are processed in the order they
+    were scheduled (a monotonically increasing sequence number breaks ties),
+    so a given seed always replays the same trajectory.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap = []
+        self._seq = count()
+        self._event_count = 0
+
+    @property
+    def now(self):
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self):
+        """Total number of heap entries processed so far (for diagnostics)."""
+        return self._event_count
+
+    # -- event construction -------------------------------------------------
+
+    def event(self):
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create a :class:`Timeout` that fires ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events):
+        """Create an :class:`AllOf` condition over ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Create an :class:`AnyOf` condition over ``events``."""
+        return AnyOf(self, events)
+
+    def spawn(self, generator):
+        """Run ``generator`` as a simulation :class:`Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def call_soon(self, callback, *args):
+        """Run ``callback(*args)`` at the current time, after pending entries."""
+        heapq.heappush(self._heap, (self._now, next(self._seq), callback, args))
+
+    def call_later(self, delay, callback, *args):
+        """Run ``callback(*args)`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._seq), callback, args))
+
+    def _schedule(self, event, delay):
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._seq), event._process, ()))
+
+    def _enqueue_triggered(self, event):
+        heapq.heappush(self._heap, (self._now, next(self._seq), event._process, ()))
+
+    # -- run loop -----------------------------------------------------------
+
+    def run(self, until=None):
+        """Process events until the heap drains or the clock passes ``until``.
+
+        ``until`` may be a time (the clock is advanced to exactly ``until``
+        if the simulation outlives it) or an :class:`Event` (run until that
+        event is processed; its value is returned).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        horizon = float("inf") if until is None else float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon} which is before now={self._now}")
+        heap = self._heap
+        while heap:
+            when = heap[0][0]
+            if when > horizon:
+                break
+            entry = heapq.heappop(heap)
+            self._now = when
+            self._event_count += 1
+            entry[2](*entry[3])
+        if horizon != float("inf"):
+            self._now = horizon
+        return None
+
+    def _run_until_event(self, event):
+        done = []
+        event.add_callback(done.append)
+        heap = self._heap
+        while heap and not done:
+            when, _seq, fn, args = heapq.heappop(heap)
+            self._now = when
+            self._event_count += 1
+            fn(*args)
+        if not done:
+            raise SimulationError(
+                "simulation ran out of events before the awaited event fired")
+        if not event.ok:
+            event.defused = True
+            raise event._exception
+        return event._value
+
+    def step(self):
+        """Process a single heap entry; returns False if the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._heap)
+        self._now = when
+        self._event_count += 1
+        fn(*args)
+        return True
+
+    @property
+    def pending(self):
+        """Number of entries currently on the heap."""
+        return len(self._heap)
+
+    def peek(self):
+        """Timestamp of the next heap entry, or ``inf`` when drained."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,20 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double triggering, running a dead process, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The interrupting party supplies an arbitrary ``cause`` object which the
+    interrupted process can inspect, e.g. an abort notice for a transaction.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return f"Interrupt(cause={self.cause!r})"

@@ -1,0 +1,49 @@
+"""Unbounded FIFO mailbox for message passing between processes."""
+
+from collections import deque
+
+from repro.sim.events import Event
+
+
+class Mailbox:
+    """FIFO queue of items; ``get()`` returns an event that yields one item.
+
+    Items put while getters are pending are matched in FIFO order on both
+    sides, at the current simulation time.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Deposit ``item``; wakes the oldest pending getter, if any.
+
+        A getter whose process was interrupted while waiting is skipped: its
+        event has lost its only callback, so handing it the item would drop
+        the item silently. (A live getter always has a callback, because a
+        process attaches its resume callback synchronously at ``yield``.)
+        """
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered and getter.callbacks:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self):
+        """Return an event that succeeds with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self):
+        """Snapshot of queued items (for inspection in tests)."""
+        return list(self._items)

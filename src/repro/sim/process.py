@@ -1,0 +1,95 @@
+"""Generator-driven simulation processes.
+
+A process wraps a Python generator. Each ``yield`` must produce an
+:class:`~repro.sim.events.Event`; the process suspends until that event is
+processed, then resumes with the event's value (or the event's exception is
+thrown into the generator). The process itself is an event that triggers
+when the generator finishes, so processes can wait on each other.
+"""
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """Drives a generator; is itself an event that fires on completion."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim, generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on = None
+        sim.call_soon(self._start)
+
+    @property
+    def alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _start(self):
+        self._advance(self._generator.send, None)
+
+    def _resume(self, event):
+        self._waiting_on = None
+        if event.ok:
+            self._advance(self._generator.send, event._value)
+        else:
+            event.defused = True
+            self._advance(self._generator.throw, event._exception)
+
+    def _advance(self, step, arg):
+        try:
+            target = step(arg)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                "process let an Interrupt escape; handle it or terminate")
+        except Exception as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(
+                f"process yielded {target!r}; processes must yield events"))
+            return
+        if target is self:
+            self._generator.close()
+            self.fail(SimulationError("process cannot wait on itself"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the generator at the current time.
+
+        Returns True if the interrupt was delivered (scheduled), False if the
+        process had already finished. The event the process was waiting on is
+        abandoned (its callback removed); the process may re-wait on it.
+        """
+        if not self.alive:
+            return False
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._resume)
+            self._waiting_on = None
+        self.sim.call_soon(self._deliver_interrupt, Interrupt(cause))
+        return True
+
+    def _deliver_interrupt(self, interrupt):
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            # The process re-attached between scheduling and delivery
+            # (possible only via a racing resume); detach again.
+            self._waiting_on.remove_callback(self._resume)
+            self._waiting_on = None
+        self._advance(self._generator.throw, interrupt)
+
+    def __repr__(self):
+        name = getattr(self._generator, "__name__", "generator")
+        state = "alive" if self.alive else "finished"
+        return f"<Process {name} {state} at {id(self):#x}>"

@@ -1,0 +1,17 @@
+"""Measurement: metrics collection, warmup elimination, confidence intervals.
+
+The paper's methodology (§5): the transient phase is eliminated, each run
+generates a fixed number of transactions after it, and 95% confidence
+intervals on the mean response time are computed from independent
+replications (relative precision ≤ 2% in the paper's full-scale runs).
+"""
+
+from repro.stats.ci import ConfidenceInterval, mean_confidence_interval
+from repro.stats.collector import MetricsCollector, RunMetrics
+
+__all__ = [
+    "ConfidenceInterval",
+    "MetricsCollector",
+    "RunMetrics",
+    "mean_confidence_interval",
+]

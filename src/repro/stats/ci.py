@@ -1,0 +1,75 @@
+"""Student-t confidence intervals over replication means."""
+
+import math
+from dataclasses import dataclass
+
+# Two-sided 95% Student-t critical values by degrees of freedom; falls back
+# to scipy for other confidence levels when available, else to the normal
+# approximation past the table.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def _t_critical(confidence, dof):
+    if abs(confidence - 0.95) < 1e-9:
+        if dof in _T95:
+            return _T95[dof]
+        if dof > 30:
+            return 1.960
+    try:
+        from scipy import stats as scipy_stats
+
+        return float(scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    except ImportError:  # pragma: no cover - scipy is an install extra
+        return 1.960
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A sample mean with its two-sided confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self):
+        return self.mean - self.half_width
+
+    @property
+    def high(self):
+        return self.mean + self.half_width
+
+    @property
+    def relative_precision(self):
+        """Half-width as a fraction of the mean (paper: ≤ 2%)."""
+        if self.mean == 0:
+            return float("inf") if self.half_width else 0.0
+        return abs(self.half_width / self.mean)
+
+    def __str__(self):
+        return f"{self.mean:.4g} ± {self.half_width:.3g} ({self.n} runs)"
+
+
+def mean_confidence_interval(samples, confidence=0.95):
+    """95% (by default) CI on the mean of independent ``samples``.
+
+    A single sample yields a zero-width interval (no variance estimate),
+    which the caller should treat as "precision unknown".
+    """
+    samples = [float(s) for s in samples]
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0,
+                                  confidence=confidence, n=1)
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    half = _t_critical(confidence, n - 1) * math.sqrt(variance / n)
+    return ConfidenceInterval(mean=mean, half_width=half,
+                              confidence=confidence, n=n)

@@ -1,0 +1,78 @@
+"""Per-run metrics collection with transient-phase elimination."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunMetrics:
+    """Steady-state metrics of one simulation run."""
+
+    committed: int = 0
+    aborted: int = 0
+    warmup_discarded: int = 0
+    response_times: list = field(default_factory=list)
+    abort_reasons: dict = field(default_factory=dict)
+    first_measured_at: float = None
+    last_measured_at: float = None
+
+    @property
+    def finished(self):
+        return self.committed + self.aborted
+
+    @property
+    def mean_response_time(self):
+        if not self.response_times:
+            return float("nan")
+        return sum(self.response_times) / len(self.response_times)
+
+    @property
+    def abort_percentage(self):
+        total = self.finished
+        if total == 0:
+            return float("nan")
+        return 100.0 * self.aborted / total
+
+    @property
+    def throughput(self):
+        """Committed transactions per simulation time unit."""
+        if (self.first_measured_at is None or self.last_measured_at is None
+                or self.last_measured_at <= self.first_measured_at):
+            return float("nan")
+        return self.committed / (self.last_measured_at
+                                 - self.first_measured_at)
+
+
+class MetricsCollector:
+    """Receives transaction outcomes from the client drivers.
+
+    The first ``warmup_transactions`` finished transactions are the
+    transient phase: counted but excluded from every statistic, matching
+    the paper's "transient phase of the simulation runs was eliminated".
+    Response times are recorded for committed transactions (aborted ones
+    are replaced, and contribute to the abort percentage instead).
+    """
+
+    def __init__(self, warmup_transactions=0):
+        if warmup_transactions < 0:
+            raise ValueError("warmup_transactions must be >= 0")
+        self.warmup_transactions = warmup_transactions
+        self.metrics = RunMetrics()
+        self._seen = 0
+
+    def record_outcome(self, outcome):
+        self._seen += 1
+        metrics = self.metrics
+        if self._seen <= self.warmup_transactions:
+            metrics.warmup_discarded += 1
+            return
+        if metrics.first_measured_at is None:
+            metrics.first_measured_at = outcome.start_time
+        metrics.last_measured_at = outcome.end_time
+        if outcome.committed:
+            metrics.committed += 1
+            metrics.response_times.append(outcome.response_time)
+        else:
+            metrics.aborted += 1
+            reason = outcome.abort_reason or "unknown"
+            metrics.abort_reasons[reason] = (
+                metrics.abort_reasons.get(reason, 0) + 1)

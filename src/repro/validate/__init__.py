@@ -1,0 +1,25 @@
+"""Correctness validation: execution histories and serializability checking.
+
+Both protocols claim to produce serializable, strict executions. The
+simulator records every committed access with the exact data-item version it
+observed or produced; the checker reconstructs the conflict graph from those
+versions and asserts acyclicity, independently of any protocol internals.
+"""
+
+from repro.validate.history import AccessRecord, HistoryRecorder
+from repro.validate.serializability import (
+    SerializabilityReport,
+    build_conflict_graph,
+    check_history,
+)
+from repro.validate.strictness import StrictnessReport, check_strictness
+
+__all__ = [
+    "AccessRecord",
+    "HistoryRecorder",
+    "SerializabilityReport",
+    "StrictnessReport",
+    "build_conflict_graph",
+    "check_history",
+    "check_strictness",
+]

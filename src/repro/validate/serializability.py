@@ -1,0 +1,142 @@
+"""Conflict-graph serializability checking over recorded histories."""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.locking.modes import LockMode
+
+
+@dataclass
+class SerializabilityReport:
+    """Outcome of checking one run's history."""
+
+    serializable: bool
+    cycle: list = None
+    anomalies: list = field(default_factory=list)
+    n_txns: int = 0
+    n_edges: int = 0
+
+    @property
+    def ok(self):
+        return self.serializable and not self.anomalies
+
+    def __str__(self):
+        if self.ok:
+            return (f"serializable: {self.n_txns} committed txns, "
+                    f"{self.n_edges} conflict edges")
+        problems = []
+        if not self.serializable:
+            problems.append(f"conflict cycle {self.cycle}")
+        problems.extend(self.anomalies)
+        return "NOT OK: " + "; ".join(problems)
+
+
+def build_conflict_graph(history):
+    """Return (edges: dict txn -> set(txn), anomalies: list of strings).
+
+    Edges follow version arithmetic per item:
+    ww: writer(v) -> writer(v');  wr: writer(v) -> reader(v);
+    rw: reader(v) -> writer(v+1)  (only adjacent ww edges are added; the
+    rest are implied transitively).
+    """
+    anomalies = []
+    committed = history.committed
+    writes_by_item = defaultdict(dict)   # item -> version -> txn
+    reads_by_item = defaultdict(list)    # item -> [(version, txn)]
+    for record in history.accesses:
+        if record.txn_id not in committed:
+            continue
+        if record.mode is LockMode.WRITE:
+            existing = writes_by_item[record.item_id].get(record.version)
+            if existing is not None and existing != record.txn_id:
+                anomalies.append(
+                    f"item {record.item_id}: version {record.version} "
+                    f"written by both txn {existing} and txn {record.txn_id}")
+            writes_by_item[record.item_id][record.version] = record.txn_id
+        else:
+            reads_by_item[record.item_id].append(
+                (record.version, record.txn_id))
+
+    edges = defaultdict(set)
+    for item_id, versions in writes_by_item.items():
+        ordered = sorted(versions)
+        expected = list(range(ordered[0], ordered[0] + len(ordered)))
+        if ordered != expected:
+            anomalies.append(
+                f"item {item_id}: committed versions {ordered} have gaps")
+        for earlier, later in zip(ordered, ordered[1:]):
+            if versions[earlier] != versions[later]:
+                edges[versions[earlier]].add(versions[later])
+
+    for item_id, read_list in reads_by_item.items():
+        versions = writes_by_item.get(item_id, {})
+        max_written = max(versions) if versions else 0
+        for version, reader in read_list:
+            if version > max_written:
+                # Read of a version no committed transaction produced
+                # (version 0 is the initial state and always fine).
+                if version != 0:
+                    anomalies.append(
+                        f"item {item_id}: txn {reader} read version "
+                        f"{version} but max committed is {max_written}")
+                continue
+            writer = versions.get(version)
+            if writer is None and version != 0:
+                anomalies.append(
+                    f"item {item_id}: txn {reader} read version {version} "
+                    f"which no committed transaction wrote")
+            if writer is not None and writer != reader:
+                edges[writer].add(reader)  # wr
+            next_writer = versions.get(version + 1)
+            if next_writer is not None and next_writer != reader:
+                edges[reader].add(next_writer)  # rw
+    return edges, anomalies
+
+
+def _find_cycle(edges):
+    color = {}
+    parent = {}
+    nodes = set(edges)
+    for targets in edges.values():
+        nodes |= targets
+    for root in nodes:
+        if root in color:
+            continue
+        stack = [(root, iter(edges.get(root, ())))]
+        color[root] = "grey"
+        while stack:
+            node, iterator = stack[-1]
+            advanced = False
+            for nxt in iterator:
+                if color.get(nxt) == "grey":
+                    cycle = [nxt]
+                    cursor = node
+                    while cursor != nxt:
+                        cycle.append(cursor)
+                        cursor = parent[cursor]
+                    cycle.append(nxt)
+                    cycle.reverse()
+                    return cycle
+                if nxt not in color:
+                    color[nxt] = "grey"
+                    parent[nxt] = node
+                    stack.append((nxt, iter(edges.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = "black"
+                stack.pop()
+    return None
+
+
+def check_history(history):
+    """Check one run's history; returns a :class:`SerializabilityReport`."""
+    edges, anomalies = build_conflict_graph(history)
+    cycle = _find_cycle(edges)
+    return SerializabilityReport(
+        serializable=cycle is None,
+        cycle=cycle,
+        anomalies=anomalies,
+        n_txns=len(history.committed),
+        n_edges=sum(len(targets) for targets in edges.values()),
+    )

@@ -1,0 +1,95 @@
+"""Strictness / commit-order checks over recorded histories.
+
+Both protocols claim strict executions (locks held to commit; an MR1W
+writer's updates are parked until the readers release). Two observable
+consequences, checked here independently of the protocols:
+
+1. **Reads see only committed state** — a read of version v happens at or
+   after the commit of the transaction that produced v.
+2. **No overwriting of uncommitted state** — the write producing version
+   v+1 happens at or after the commit of the writer of v.
+
+Both need commit timestamps, which the clients record at their local
+commit point.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.locking.modes import LockMode
+
+# Floating-point slack for same-instant events (commit and forward share a
+# timestamp at the committing client).
+_EPSILON = 1e-9
+
+
+@dataclass
+class StrictnessReport:
+    """Outcome of the strictness checks on one run's history."""
+
+    violations: list = field(default_factory=list)
+    n_reads_checked: int = 0
+    n_writes_checked: int = 0
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def __str__(self):
+        if self.ok:
+            return (f"strict: {self.n_reads_checked} reads and "
+                    f"{self.n_writes_checked} overwrites verified")
+        return "NOT STRICT: " + "; ".join(self.violations[:5])
+
+
+def check_strictness(history):
+    """Check both strictness consequences; returns a
+    :class:`StrictnessReport`. Transactions without a recorded commit time
+    are skipped (the recorder may be configured not to collect them)."""
+    report = StrictnessReport()
+    commit_times = history.commit_times
+    committed = history.committed
+    writers_of = defaultdict(dict)  # item -> version -> (txn, write time)
+    for record in history.accesses:
+        if record.txn_id in committed and record.mode is LockMode.WRITE:
+            writers_of[record.item_id][record.version] = (
+                record.txn_id, record.time)
+
+    for record in history.accesses:
+        if record.txn_id not in committed:
+            continue
+        versions = writers_of.get(record.item_id, {})
+        if record.mode is LockMode.READ:
+            producer = versions.get(record.version)
+            if producer is None:
+                continue  # initial version or checked elsewhere
+            writer, _write_time = producer
+            if writer == record.txn_id:
+                continue
+            commit = commit_times.get(writer)
+            if commit is None:
+                continue
+            report.n_reads_checked += 1
+            if record.time < commit - _EPSILON:
+                report.violations.append(
+                    f"txn {record.txn_id} read item {record.item_id} "
+                    f"v{record.version} at {record.time:.3f} before its "
+                    f"writer {writer} committed at {commit:.3f}")
+        else:
+            predecessor = versions.get(record.version - 1)
+            if predecessor is None:
+                continue
+            prev_writer, _ = predecessor
+            if prev_writer == record.txn_id:
+                continue
+            commit = commit_times.get(prev_writer)
+            if commit is None:
+                continue
+            report.n_writes_checked += 1
+            if record.time < commit - _EPSILON:
+                report.violations.append(
+                    f"txn {record.txn_id} wrote item {record.item_id} "
+                    f"v{record.version} at {record.time:.3f} before the "
+                    f"previous writer {prev_writer} committed at "
+                    f"{commit:.3f}")
+    return report

@@ -1,0 +1,21 @@
+"""Workload generation: the transaction profile of Table 1.
+
+All clients are identical, run one transaction at a time (MPL 1), and draw
+transactions with the same statistical profile: between ``min_ops`` and
+``max_ops`` distinct hot items accessed sequentially, each access a read
+with probability ``read_probability``, a per-operation think time and an
+inter-transaction idle time both uniformly distributed.
+"""
+
+from repro.workload.driver import ClientDriver, RunControl
+from repro.workload.generator import WorkloadGenerator, WorkloadParams
+from repro.workload.spec import Operation, TransactionSpec
+
+__all__ = [
+    "ClientDriver",
+    "Operation",
+    "RunControl",
+    "TransactionSpec",
+    "WorkloadGenerator",
+    "WorkloadParams",
+]

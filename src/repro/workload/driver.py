@@ -1,0 +1,77 @@
+"""The client driver: the paper's per-client transaction loop.
+
+Each client runs one transaction at a time (MPL 1). When a transaction
+finishes — committed or aborted — the client idles for a uniformly
+distributed period and then *replaces* it with a fresh transaction (§4:
+aborted transactions are replaced, not retried).
+"""
+
+from repro.protocols.transaction import Transaction
+
+
+class RunControl:
+    """Shared run-length control: counts finished transactions and fires
+    ``done_event`` when the target is reached."""
+
+    def __init__(self, sim, target_transactions):
+        if target_transactions < 1:
+            raise ValueError("target_transactions must be >= 1")
+        self.sim = sim
+        self.target = target_transactions
+        self.finished = 0
+        self.done_event = sim.event()
+        self._next_txn_id = 0
+
+    def next_txn_id(self):
+        self._next_txn_id += 1
+        return self._next_txn_id
+
+    def transaction_finished(self):
+        self.finished += 1
+        if self.finished == self.target and not self.done_event.triggered:
+            self.done_event.succeed(self.finished)
+
+    @property
+    def done(self):
+        return self.done_event.triggered
+
+
+class ClientDriver:
+    """Generates and runs transactions at one client site.
+
+    The paper fixes the multiprogramming level at 1; ``mpl`` > 1 (an
+    extension knob) runs that many independent transaction streams at the
+    same client site concurrently.
+    """
+
+    def __init__(self, sim, client_id, protocol_client, generator, control,
+                 collector, mpl=1):
+        if mpl < 1:
+            raise ValueError("mpl must be >= 1")
+        self.sim = sim
+        self.client_id = client_id
+        self.protocol_client = protocol_client
+        self.generator = generator
+        self.control = control
+        self.collector = collector
+        self.mpl = mpl
+
+    def start(self):
+        """Spawn the client loop(s); returns the list of processes."""
+        return [self.sim.spawn(self._loop(stream))
+                for stream in range(self.mpl)]
+
+    def _loop(self, stream):
+        stagger_key = (self.client_id if stream == 0
+                       else f"{self.client_id}.s{stream}")
+        yield self.sim.timeout(self.generator.initial_stagger(stagger_key))
+        while not self.control.done:
+            spec = self.generator.next_spec(self.client_id)
+            txn = Transaction(self.control.next_txn_id(), self.client_id,
+                              spec, birth=self.sim.now)
+            outcome = yield self.sim.spawn(self.protocol_client.execute(txn))
+            if self.control.done:
+                break  # the run closed while this transaction was in flight
+            self.collector.record_outcome(outcome)
+            self.control.transaction_finished()
+            yield self.sim.timeout(self.generator.idle_time(self.client_id))

@@ -1,0 +1,124 @@
+"""Random transaction generation per Table 1."""
+
+from dataclasses import dataclass
+
+from repro.locking.modes import LockMode
+from repro.workload.spec import Operation, TransactionSpec
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """The tunable knobs of the paper's workload (Table 1 defaults).
+
+    ``access_skew`` extends the paper's uniform access with a Zipf-like
+    popularity law (weight of the item at rank r is 1/(r+1)^skew; 0 means
+    uniform, as published). The paper's §3.4 remark — "the more a certain
+    data item is requested ... more is the performance gain, since the
+    grouping effect is emphasized when the forward list is longer" — is
+    directly testable by raising the skew (ablation A6).
+    """
+
+    n_items: int = 25
+    min_ops: int = 1
+    max_ops: int = 5
+    read_probability: float = 0.6
+    think_min: float = 1.0
+    think_max: float = 3.0
+    idle_min: float = 2.0
+    idle_max: float = 10.0
+    access_skew: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.read_probability <= 1.0:
+            raise ValueError(
+                f"read_probability {self.read_probability} outside [0, 1]")
+        if not 1 <= self.min_ops <= self.max_ops:
+            raise ValueError(
+                f"need 1 <= min_ops <= max_ops, got "
+                f"{self.min_ops}..{self.max_ops}")
+        if self.max_ops > self.n_items:
+            raise ValueError(
+                f"max_ops {self.max_ops} exceeds the {self.n_items}-item pool")
+        if self.think_min > self.think_max or self.think_min < 0:
+            raise ValueError("invalid think time range")
+        if self.idle_min > self.idle_max or self.idle_min < 0:
+            raise ValueError("invalid idle time range")
+        if self.access_skew < 0:
+            raise ValueError(f"negative access_skew {self.access_skew}")
+
+    def item_weights(self):
+        """Unnormalised popularity weights, item id = popularity rank."""
+        if self.access_skew == 0.0:
+            return [1.0] * self.n_items
+        return [1.0 / (rank + 1) ** self.access_skew
+                for rank in range(self.n_items)]
+
+
+class WorkloadGenerator:
+    """Draws transaction specs and idle times from per-client streams.
+
+    Per-client random streams keep clients statistically identical yet
+    independent, and keep a client's draws reproducible regardless of how
+    other clients interleave.
+    """
+
+    def __init__(self, params, streams):
+        self.params = params
+        self.streams = streams
+        self.generated = 0
+
+    def _stream(self, client_id, purpose):
+        return self.streams.stream(f"client{client_id}.{purpose}")
+
+    def _sample_items(self, rng, n_ops):
+        params = self.params
+        if params.access_skew == 0.0:
+            return rng.sample(range(params.n_items), n_ops)
+        # Weighted sampling without replacement (successive draws).
+        weights = list(params.item_weights())
+        available = list(range(params.n_items))
+        chosen = []
+        for _ in range(n_ops):
+            total = sum(weights)
+            point = rng.random() * total
+            cumulative = 0.0
+            index = len(available) - 1
+            for i, weight in enumerate(weights):
+                cumulative += weight
+                if point < cumulative:
+                    index = i
+                    break
+            chosen.append(available.pop(index))
+            weights.pop(index)
+        return chosen
+
+    def next_spec(self, client_id):
+        """Generate the next transaction for ``client_id``."""
+        params = self.params
+        rng = self._stream(client_id, "txn")
+        n_ops = rng.randint(params.min_ops, params.max_ops)
+        items = self._sample_items(rng, n_ops)
+        operations = tuple(
+            Operation(
+                item_id=item,
+                mode=(LockMode.READ
+                      if rng.random() < params.read_probability
+                      else LockMode.WRITE),
+                think_time=rng.uniform(params.think_min, params.think_max),
+            )
+            for item in items
+        )
+        self.generated += 1
+        return TransactionSpec(operations=operations)
+
+    def idle_time(self, client_id):
+        """Idle period before the client's next transaction."""
+        return self._stream(client_id, "idle").uniform(
+            self.params.idle_min, self.params.idle_max)
+
+    def initial_stagger(self, client_id):
+        """Start-up desynchronisation: the first transaction of each client
+        begins after one idle-time draw, so all clients do not fire their
+        first request at t=0 in lockstep."""
+        return self._stream(client_id, "stagger").uniform(
+            0.0, self.params.idle_max)

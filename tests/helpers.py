@@ -1,0 +1,79 @@
+"""Shared helpers for protocol-level tests: hand-built micro scenarios."""
+
+from repro.core.config import SimulationConfig
+from repro.locking.modes import LockMode
+from repro.network.topology import UniformTopology
+from repro.network.transport import Network
+from repro.protocols.registry import make_protocol
+from repro.protocols.transaction import Transaction
+from repro.sim.engine import Simulator
+from repro.storage.store import VersionedStore
+from repro.storage.wal import WriteAheadLog
+from repro.validate.history import HistoryRecorder
+from repro.workload.spec import Operation, TransactionSpec
+
+R, W = LockMode.READ, LockMode.WRITE
+
+
+def spec(*ops, think=1.0):
+    """Build a TransactionSpec from (item, mode) pairs."""
+    return TransactionSpec(operations=tuple(
+        Operation(item_id=item, mode=mode, think_time=think)
+        for item, mode in ops))
+
+
+class Harness:
+    """A protocol instance wired to a network, with manual txn launching."""
+
+    def __init__(self, protocol, n_clients=3, n_items=4, latency=10.0,
+                 topology=None, **config_overrides):
+        defaults = dict(
+            protocol=protocol, n_clients=n_clients, n_items=n_items,
+            network_latency=latency, total_transactions=100,
+            warmup_transactions=0, record_history=True)
+        defaults.update(config_overrides)
+        self.config = SimulationConfig(**defaults)
+        self.sim = Simulator()
+        self.history = HistoryRecorder()
+        self.store = VersionedStore(range(n_items))
+        self.wal = WriteAheadLog()
+        self.network = Network(self.sim,
+                               topology or UniformTopology(latency))
+        client_ids = list(range(1, n_clients + 1))
+        self.server, self.clients = make_protocol(
+            protocol, self.sim, self.config, self.store, self.wal,
+            self.history, client_ids)
+        self.network.add_site(self.server)
+        for client in self.clients.values():
+            self.network.add_site(client)
+        self._txn_counter = 0
+        self.outcomes = {}
+
+    def launch(self, client_id, txn_spec, delay=0.0, txn_id=None):
+        """Start one transaction at ``client_id`` after ``delay``;
+        returns the process (an awaitable event)."""
+        if txn_id is None:
+            self._txn_counter += 1
+            txn_id = self._txn_counter
+
+        def body():
+            if delay:
+                yield self.sim.timeout(delay)
+            txn = Transaction(txn_id, client_id, txn_spec, birth=self.sim.now)
+            outcome = yield self.sim.spawn(
+                self.clients[client_id].execute(txn))
+            self.outcomes[txn_id] = outcome
+            return outcome
+
+        return self.sim.spawn(body())
+
+    def run(self, until=None):
+        self.sim.run(until=until)
+        return self.outcomes
+
+    def check_serializable(self):
+        from repro.validate.serializability import check_history
+
+        report = check_history(self.history)
+        assert report.ok, str(report)
+        return report

@@ -1,0 +1,112 @@
+"""Unit tests for the analysis/rendering helpers."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    find_crossover,
+    render_experiment,
+    render_pairs,
+)
+from repro.core.experiments import ExperimentResult, ExperimentSeries
+from repro.stats.ci import ConfidenceInterval
+
+
+def ci(mean, half=0.0):
+    return ConfidenceInterval(mean=mean, half_width=half, confidence=0.95,
+                              n=3)
+
+
+def make_result(s2pl_ys, g2pl_ys, xs=None):
+    xs = xs or list(range(len(s2pl_ys)))
+    result = ExperimentResult(experiment_id="figX", title="Test figure",
+                              x_label="x", y_label="y")
+    for name, ys in (("s2pl", s2pl_ys), ("g2pl", g2pl_ys)):
+        series = result.series_for(name)
+        for x, y in zip(xs, ys):
+            series.add(x, ci(y))
+    return result
+
+
+class TestExperimentResult:
+    def test_series_accumulate(self):
+        series = ExperimentSeries("s2pl")
+        series.add(1.0, ci(10.0, 2.0))
+        series.add(2.0, ci(20.0, 3.0))
+        assert series.xs == [1.0, 2.0]
+        assert series.ys == [10.0, 20.0]
+        assert series.half_widths == [2.0, 3.0]
+        assert series.y_at(2.0) == 20.0
+
+    def test_improvement_at(self):
+        result = make_result([100.0], [80.0], xs=[5.0])
+        assert result.improvement_at(5.0) == pytest.approx(20.0)
+
+    def test_improvement_negative_when_contender_slower(self):
+        result = make_result([100.0], [130.0], xs=[5.0])
+        assert result.improvement_at(5.0) == pytest.approx(-30.0)
+
+
+class TestRenderers:
+    def test_render_experiment_contains_rows(self):
+        result = make_result([100.0, 200.0], [80.0, 150.0], xs=[1.0, 2.0])
+        text = render_experiment(result,
+                                 improvement_between=("s2pl", "g2pl"))
+        assert "Test figure" in text
+        assert "s2pl" in text and "g2pl" in text
+        assert "+20.0%" in text
+        assert "+25.0%" in text
+
+    def test_render_experiment_shows_ci(self):
+        result = ExperimentResult(experiment_id="f", title="t",
+                                  x_label="x", y_label="y")
+        result.series_for("s2pl").add(1.0, ci(100.0, 5.0))
+        text = render_experiment(result)
+        assert "±5.0" in text
+
+    def test_render_notes(self):
+        result = make_result([1.0], [2.0])
+        result.notes.append("a caveat")
+        assert "note: a caveat" in render_experiment(result)
+
+    def test_render_pairs(self):
+        text = render_pairs("Title", [("alpha", 1), ("beta-longer", 2)])
+        assert "Title" in text
+        assert "alpha" in text and "beta-longer" in text
+
+    def test_ascii_plot_renders_markers_and_legend(self):
+        result = make_result([1.0, 5.0, 9.0], [2.0, 4.0, 6.0])
+        plot = ascii_plot(result, width=20, height=6)
+        assert "*" in plot and "x" in plot
+        assert "legend" in plot
+        assert "*=s2pl" in plot
+
+    def test_ascii_plot_empty(self):
+        result = ExperimentResult(experiment_id="f", title="t",
+                                  x_label="x", y_label="y")
+        result.series_for("s2pl")
+        assert "empty" in ascii_plot(result)
+
+    def test_ascii_plot_single_point(self):
+        result = make_result([5.0], [3.0], xs=[1.0])
+        assert "legend" in ascii_plot(result, width=10, height=4)
+
+
+class TestCrossover:
+    def test_crossover_interpolated(self):
+        # s2pl - g2pl: +10 at x=0, -10 at x=1 -> crossover at 0.5
+        result = make_result([100.0, 100.0], [90.0, 110.0], xs=[0.0, 1.0])
+        assert find_crossover(result) == pytest.approx(0.5)
+
+    def test_no_crossover_returns_none(self):
+        result = make_result([100.0, 100.0], [90.0, 95.0], xs=[0.0, 1.0])
+        assert find_crossover(result) is None
+
+    def test_exact_tie_returns_that_x(self):
+        result = make_result([100.0, 100.0], [100.0, 90.0], xs=[3.0, 4.0])
+        assert find_crossover(result) == 3.0
+
+    def test_asymmetric_interpolation(self):
+        # diff: +30 at x=0, -10 at x=2 -> zero at x = 2 * 30/40 = 1.5
+        result = make_result([100.0, 100.0], [70.0, 110.0], xs=[0.0, 2.0])
+        assert find_crossover(result) == pytest.approx(1.5)

@@ -1,0 +1,121 @@
+"""Protocol-level tests for caching 2PL (c-2PL)."""
+
+import pytest
+
+from helpers import Harness, R, W, spec
+
+
+def test_second_read_is_a_cache_hit():
+    h = Harness("c2pl", n_clients=1, latency=10.0)
+    h.launch(1, spec((0, R), think=1.0), txn_id=1)
+    h.launch(1, spec((0, R), think=1.0), delay=50.0, txn_id=2)
+    outcomes = h.run()
+    assert all(out.committed for out in outcomes.values())
+    assert outcomes[1].response_time == pytest.approx(21.0)  # miss
+    assert outcomes[2].response_time == pytest.approx(1.0)   # pure local hit
+    client = h.clients[1]
+    assert client.cache_hits == 1
+    assert client.cache_misses == 1
+    h.check_serializable()
+
+
+def test_write_recalls_cached_copies():
+    h = Harness("c2pl", n_clients=2, latency=10.0)
+    h.launch(1, spec((0, R), think=1.0), txn_id=1)     # client 1 caches 0
+    h.launch(2, spec((0, W), think=1.0), delay=50.0, txn_id=2)
+    outcomes = h.run()
+    assert all(out.committed for out in outcomes.values())
+    assert h.server.callbacks_sent == 1
+    # Client 1's copy is gone; its next read misses.
+    assert 0 not in h.clients[1]._cache
+    h.check_serializable()
+
+
+def test_cached_read_never_stale():
+    h = Harness("c2pl", n_clients=2, latency=10.0)
+    h.launch(1, spec((0, R), think=1.0), txn_id=1)
+    h.launch(2, spec((0, W), think=1.0), delay=50.0, txn_id=2)
+    h.launch(1, spec((0, R), think=1.0), delay=120.0, txn_id=3)
+    h.run()
+    reads = [r for r in h.history.reads() if r.txn_id == 3]
+    assert reads[0].version == 1  # saw the new version, not the stale cache
+    h.check_serializable()
+
+
+def test_busy_cache_defers_recall_until_commit():
+    h = Harness("c2pl", n_clients=2, latency=10.0)
+    # Client 1 reads item 0 twice within a long transaction (cache use),
+    # while client 2 writes it: the recall must wait for txn 1's commit.
+    h.launch(1, spec((0, R), think=1.0), txn_id=1)          # warm the cache
+    h.launch(1, spec((0, R), (1, R), think=40.0), delay=40.0, txn_id=2)
+    h.launch(2, spec((0, W), think=1.0), delay=60.0, txn_id=3)
+    outcomes = h.run()
+    assert all(out.committed for out in outcomes.values())
+    # Strictness: the writer could not finish before the cached reader.
+    assert outcomes[3].end_time > outcomes[2].end_time
+    h.check_serializable()
+
+
+def test_callback_deadlock_detected():
+    """A writer waiting on a busy cached copy forms a wait-for edge; if the
+    cache user in turn waits on the writer's locks, someone aborts."""
+    h = Harness("c2pl", n_clients=2, latency=10.0)
+    h.launch(1, spec((0, R), think=1.0), txn_id=1)  # client 1 caches item 0
+    # txn 2 at client 1: uses cached 0, then wants 1.
+    h.launch(1, spec((0, R), (1, W), think=5.0), delay=40.0, txn_id=2)
+    # txn 3 at client 2: takes 1, then writes 0 (recall blocks on txn 2).
+    h.launch(2, spec((1, W), (0, W), think=5.0), delay=40.0, txn_id=3)
+    outcomes = h.run()
+    aborted = [o for o in outcomes.values() if not o.committed]
+    assert len(aborted) == 1
+    h.check_serializable()
+
+
+def test_writer_caches_its_own_update():
+    h = Harness("c2pl", n_clients=1, latency=10.0)
+    h.launch(1, spec((0, W), think=1.0), txn_id=1)
+    h.launch(1, spec((0, R), think=1.0), delay=60.0, txn_id=2)
+    outcomes = h.run()
+    assert outcomes[2].response_time == pytest.approx(1.0)  # local hit
+    reads = [r for r in h.history.reads() if r.txn_id == 2]
+    assert reads[0].version == 1
+    h.check_serializable()
+
+
+def test_aborted_writer_update_not_cached():
+    h = Harness("c2pl", n_clients=2, latency=10.0)
+    h.launch(1, spec((0, W), (1, W), think=1.0), txn_id=1)
+    h.launch(2, spec((1, W), (0, W), think=1.0), txn_id=2)
+    outcomes = h.run()
+    aborted = [o for o in outcomes.values() if not o.committed]
+    assert len(aborted) == 1
+    victim_client = aborted[0].client_id
+    # The victim's locally written values were dropped from its cache.
+    for item_id, entry in h.clients[victim_client]._cache.items():
+        assert entry[0] <= h.store.read(item_id).version
+    h.check_serializable()
+
+
+def test_cache_capacity_evicts_lru():
+    h = Harness("c2pl", n_clients=1, n_items=4, latency=10.0,
+                cache_capacity=2)
+    h.launch(1, spec((0, R), (1, R), (2, R), think=1.0), txn_id=1)
+    h.run()
+    client = h.clients[1]
+    assert len(client._cache) == 2
+    assert 0 not in client._cache  # the oldest entry was evicted
+    assert 1 in client._cache and 2 in client._cache
+
+
+def test_read_only_workload_faster_than_s2pl():
+    """With everything cacheable, c-2PL beats s-2PL on repeat reads."""
+    from repro import SimulationConfig, run_simulation
+
+    results = {}
+    for proto in ("s2pl", "c2pl"):
+        cfg = SimulationConfig(protocol=proto, n_clients=5, n_items=5,
+                               read_probability=1.0, network_latency=100.0,
+                               total_transactions=150,
+                               warmup_transactions=30, seed=7)
+        results[proto] = run_simulation(cfg).mean_response_time
+    assert results["c2pl"] < results["s2pl"]

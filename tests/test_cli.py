@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "g2pl" in out and "s2pl" in out
+    assert "figures" in out
+
+
+def test_run_single_simulation(capsys):
+    code = main(["run", "--protocol", "s2pl", "--clients", "5",
+                 "--items", "8", "--transactions", "100",
+                 "--warmup", "10", "--latency", "20"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "s2pl: response=" in out
+    assert "throughput" in out
+
+
+def test_compare(capsys):
+    code = main(["compare", "--clients", "6", "--items", "8",
+                 "--transactions", "100", "--warmup", "10",
+                 "--latency", "20", "--replications", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "improvement over s-2PL" in out
+
+
+def test_figure_1(capsys):
+    assert main(["figure", "1"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
+def test_figure_unknown(capsys):
+    assert main(["figure", "99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_bad_protocol_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--protocol", "mystery"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,108 @@
+"""Unit tests for the client driver and run control."""
+
+import pytest
+
+from repro.locking.modes import LockMode
+from repro.sim import RandomStreams, Simulator
+from repro.stats.collector import MetricsCollector
+from repro.workload.driver import ClientDriver, RunControl
+from repro.workload.generator import WorkloadGenerator, WorkloadParams
+
+
+class InstantClient:
+    """A protocol client stub: every transaction commits after one unit."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.executed = []
+
+    def execute(self, txn):
+        self.executed.append(txn.txn_id)
+        yield self.sim.timeout(1.0)
+        txn.commit()
+        from repro.protocols.transaction import TxnOutcome
+
+        return TxnOutcome(txn_id=txn.txn_id, client_id=txn.client_id,
+                          committed=True, start_time=self.sim.now - 1.0,
+                          end_time=self.sim.now, n_ops=txn.spec.n_ops,
+                          n_writes=txn.spec.n_writes)
+
+
+def build(sim, target=10, mpl=1, n_clients=2):
+    control = RunControl(sim, target)
+    collector = MetricsCollector(0)
+    generator = WorkloadGenerator(
+        WorkloadParams(n_items=5, min_ops=1, max_ops=2), RandomStreams(1))
+    clients = {}
+    for client_id in range(1, n_clients + 1):
+        client = InstantClient(sim)
+        clients[client_id] = client
+        ClientDriver(sim, client_id, client, generator, control, collector,
+                     mpl=mpl).start()
+    return control, collector, clients
+
+
+def test_run_stops_exactly_at_target():
+    sim = Simulator()
+    control, collector, _ = build(sim, target=10)
+    sim.run(until=control.done_event)
+    assert control.finished == 10
+    assert collector.metrics.finished == 10
+
+
+def test_txn_ids_unique_and_increasing():
+    sim = Simulator()
+    control, _, clients = build(sim, target=12)
+    sim.run(until=control.done_event)
+    all_ids = [txn_id for c in clients.values() for txn_id in c.executed]
+    assert len(all_ids) == len(set(all_ids))
+
+
+def test_mpl_spawns_streams():
+    sim = Simulator()
+    control = RunControl(sim, 5)
+    collector = MetricsCollector(0)
+    generator = WorkloadGenerator(WorkloadParams(), RandomStreams(1))
+    client = InstantClient(sim)
+    processes = ClientDriver(sim, 1, client, generator, control, collector,
+                             mpl=3).start()
+    assert len(processes) == 3
+    sim.run(until=control.done_event)
+    assert control.finished == 5
+
+
+def test_invalid_mpl():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ClientDriver(sim, 1, InstantClient(sim), None, RunControl(sim, 1),
+                     MetricsCollector(0), mpl=0)
+
+
+def test_run_control_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        RunControl(sim, 0)
+
+
+def test_done_event_fires_once():
+    sim = Simulator()
+    control = RunControl(sim, 2)
+    control.transaction_finished()
+    control.transaction_finished()
+    control.transaction_finished()  # past the target: must not re-trigger
+    assert control.done
+    sim.run()
+    assert control.done_event.value == 2
+
+
+def test_clients_stagger_their_first_transaction():
+    sim = Simulator()
+    control, _, clients = build(sim, target=4, n_clients=2)
+    starts = {}
+
+    sim.run(until=control.done_event)
+    # Different clients drew different staggers: their first transactions
+    # were not issued in lockstep (probabilistic but deterministic per
+    # seed; seed 1 gives distinct values).
+    generator = WorkloadGenerator(WorkloadParams(), RandomStreams(1))
+    assert generator.initial_stagger(1) != generator.initial_stagger(2)

@@ -1,0 +1,97 @@
+"""Tests for the experiment drivers (at smoke scale)."""
+
+from repro.core.config import Fidelity
+from repro.core.experiments import (
+    CLIENT_SWEEP,
+    READ_PROBABILITY_SWEEP,
+    clients_sweep_experiment,
+    figure_aborts_vs_fl_length,
+    figure_readonly_aborts_vs_latency,
+    figure_response_vs_latency,
+    figure_response_vs_read_probability,
+    latency_sweep_experiment,
+    table1_parameters,
+    table2_environments,
+)
+from repro.network.presets import NetworkEnvironment
+
+
+def test_latency_sweep_produces_both_metrics():
+    results = latency_sweep_experiment(0.6, fidelity="smoke",
+                                       latencies=(1.0, 250.0))
+    assert set(results) == {"response", "aborts"}
+    response = results["response"]
+    assert set(response.series) == {"s2pl", "g2pl"}
+    assert response.series["s2pl"].xs == [1.0, 250.0]
+    assert all(y > 0 for y in response.series["s2pl"].ys)
+    aborts = results["aborts"]
+    assert all(0 <= y <= 100 for y in aborts.series["g2pl"].ys)
+    assert response.experiment_id == "figure3"
+    assert aborts.experiment_id == "figure8"
+
+
+def test_figure_ids_match_read_probability():
+    result = figure_response_vs_latency(0.0, fidelity="smoke",
+                                        latencies=(1.0,))
+    assert result.experiment_id == "figure2"
+    result = figure_response_vs_latency(1.0, fidelity="smoke",
+                                        latencies=(1.0,))
+    assert result.experiment_id == "figure4"
+
+
+def test_read_probability_sweep():
+    result = figure_response_vs_read_probability(
+        NetworkEnvironment.SS_LAN, fidelity="smoke",
+        read_probabilities=(0.0, 1.0))
+    assert result.experiment_id == "figure5"
+    assert result.series["s2pl"].xs == [0.0, 1.0]
+    # read-only is far cheaper than write-only under s-2PL
+    series = result.series["s2pl"]
+    assert series.y_at(1.0) < series.y_at(0.0)
+
+
+def test_readonly_aborts_experiment():
+    result = figure_readonly_aborts_vs_latency(
+        fidelity="smoke", latencies=(1, 5), n_clients=4)
+    assert set(result.series) == {"g2pl", "g2pl-ro"}
+    assert max(result.series["g2pl-ro"].ys) == 0.0
+
+
+def test_fl_length_experiment():
+    result = figure_aborts_vs_fl_length(fidelity="smoke", lengths=(1, 8),
+                                        n_clients=20)
+    series = result.series["g2pl"]
+    assert series.y_at(1) >= series.y_at(8)
+
+
+def test_clients_sweep_ids():
+    results = clients_sweep_experiment(0.25, fidelity="smoke",
+                                       client_counts=(5, 10))
+    assert results["response"].experiment_id == "figure12"
+    assert results["aborts"].experiment_id == "figure13"
+    results = clients_sweep_experiment(0.75, fidelity="smoke",
+                                       client_counts=(5,))
+    assert results["response"].experiment_id == "figure14"
+    assert results["aborts"].experiment_id == "figure15"
+
+
+def test_default_sweeps_match_paper_axes():
+    assert READ_PROBABILITY_SWEEP[0] == 0.0
+    assert READ_PROBABILITY_SWEEP[-1] == 1.0
+    assert len(READ_PROBABILITY_SWEEP) == 11
+    assert max(CLIENT_SWEEP) == 150
+
+
+def test_fidelity_accepts_string_and_enum():
+    a = figure_response_vs_latency(0.0, fidelity="smoke", latencies=(1.0,))
+    b = figure_response_vs_latency(0.0, fidelity=Fidelity.SMOKE,
+                                   latencies=(1.0,))
+    assert a.series["s2pl"].ys == b.series["s2pl"].ys
+
+
+def test_tables():
+    t1 = dict(table1_parameters())
+    assert t1["Number of hot data items"] == "25"
+    t2 = table2_environments()
+    assert len(t2) == 6
+    assert t2[0][1] == "SS_LAN" and t2[-1][2] == 750.0

@@ -1,0 +1,132 @@
+"""Edge-path tests for g-2PL: races, abort plumbing, asymmetric networks."""
+
+from repro.network.topology import MatrixTopology
+
+from helpers import Harness, R, W, spec
+
+
+def asymmetric_topology(n_clients, server_client=50.0, client_client=1.0):
+    """Clients near each other, far from the server — the regime where a
+    reader's release can overtake the server's concurrent MR1W ship."""
+    latencies = {}
+    for a in range(1, n_clients + 1):
+        latencies[(0, a)] = server_client
+        for b in range(1, n_clients + 1):
+            if a != b:
+                latencies[(a, b)] = client_client
+    return MatrixTopology(latencies)
+
+
+def test_mr1w_release_beating_gship_race():
+    """With client-client latency << server-client latency, the reader's
+    release reaches the writer before the server's concurrent data ship.
+    The early_releases buffer must absorb it."""
+    h = Harness("g2pl", n_clients=3, mr1w=True,
+                topology=asymmetric_topology(3))
+    # Primer holds the item so reader+writer share one window.
+    h.launch(3, spec((0, W), think=1.0), txn_id=100)
+    h.launch(1, spec((0, R), think=0.1), delay=1.0, txn_id=1)   # fast reader
+    h.launch(2, spec((0, W), think=200.0), delay=1.5, txn_id=2)  # slow writer
+    outcomes = h.run()
+    assert all(out.committed for out in outcomes.values())
+    # reader committed long before the writer even received the data;
+    # its release crossed the ship. The final version still lands
+    # (primer's write + the chained writer's write).
+    assert h.store.read(0).version == 2
+    h.check_serializable()
+    h.server.assert_invariants()
+
+
+def test_basic_mode_release_data_race():
+    """Same race without MR1W: the data rides the reader releases."""
+    h = Harness("g2pl", n_clients=4, mr1w=False,
+                topology=asymmetric_topology(4))
+    h.launch(4, spec((0, W), think=1.0), txn_id=100)
+    h.launch(1, spec((0, R), think=0.1), delay=1.0, txn_id=1)
+    h.launch(2, spec((0, R), think=5.0), delay=1.0, txn_id=2)
+    h.launch(3, spec((0, W), think=1.0), delay=1.5, txn_id=3)
+    outcomes = h.run()
+    assert all(out.committed for out in outcomes.values())
+    assert h.store.read(0).version == 2  # primer + one chained writer
+    h.check_serializable()
+
+
+def test_aborted_txn_expect_items_arrive_later():
+    """A transaction aborted while items are still in flight to it must
+    forward them when they arrive (AbortNotice.expect_items plumbing)."""
+    h = Harness("g2pl", n_clients=3, latency=10.0)
+    # txn 1 will hold item 0 for a long time; txn 2 is queued behind it on
+    # item 0 (in flight to txn 2 only much later) while it holds item 1
+    # and deadlocks via item 1 <-> item 0 crossing with txn 1.
+    h.launch(1, spec((0, W), (1, W), think=30.0), txn_id=1)
+    h.launch(2, spec((1, W), (0, W), think=1.0), delay=5.0, txn_id=2)
+    outcomes = h.run()
+    aborted = [o for o in outcomes.values() if not o.committed]
+    assert len(aborted) == 1
+    # Whatever was in flight to the victim was forwarded: both items are
+    # home and carry the survivor's writes.
+    assert h.store.read(0).version + h.store.read(1).version == 2
+    h.check_serializable()
+    h.server.assert_invariants()
+
+
+def test_three_way_crossing_aborts_minimally():
+    h = Harness("g2pl", n_clients=3, n_items=3, latency=10.0)
+    h.launch(1, spec((0, W), (1, W), think=1.0), txn_id=1)
+    h.launch(2, spec((1, W), (2, W), think=1.0), txn_id=2)
+    h.launch(3, spec((2, W), (0, W), think=1.0), txn_id=3)
+    outcomes = h.run()
+    committed = sum(1 for o in outcomes.values() if o.committed)
+    assert committed >= 1
+    h.check_serializable()
+    h.server.assert_invariants()
+
+
+def test_deep_chains_with_interleaved_aborts():
+    """A stress pattern: many small crossings over few items."""
+    h = Harness("g2pl", n_clients=4, n_items=2, latency=5.0)
+    txn_id = 0
+    for wave in range(4):
+        for client in (1, 2, 3, 4):
+            txn_id += 1
+            items = ((0, W), (1, W)) if client % 2 else ((1, W), (0, W))
+            h.launch(client, spec(*items, think=1.0),
+                     delay=wave * 120.0 + client, txn_id=txn_id)
+    outcomes = h.run()
+    assert len(outcomes) == 16
+    assert sum(1 for o in outcomes.values() if o.committed) >= 8
+    h.check_serializable()
+    h.server.assert_invariants()
+    # Every item made it home.
+    for info in h.server._items.values():
+        assert info.at_server
+        assert not info.chain_live
+
+
+def test_txn_retired_only_after_all_forwards():
+    """An MR1W writer that commits early must stay in the precedence graph
+    until its parked updates are released (TxnDone deferral)."""
+    h = Harness("g2pl", n_clients=4, mr1w=True, latency=10.0)
+    h.launch(4, spec((0, W), think=1.0), txn_id=100)
+    h.launch(1, spec((0, R), think=100.0), delay=1.0, txn_id=1)
+    h.launch(2, spec((0, W), think=1.0), delay=1.5, txn_id=2)
+    h.run(until=80.0)
+    # Writer committed but the reader still holds; txn 2 must still be
+    # known to the precedence machinery.
+    assert h.outcomes[2].committed
+    assert 2 in h.server._txns
+    h.run()
+    assert 2 not in h.server._txns
+    h.check_serializable()
+
+
+def test_windows_drain_when_clients_stop():
+    h = Harness("g2pl", n_clients=2, latency=10.0)
+    h.launch(1, spec((0, W), think=1.0), txn_id=1)
+    h.launch(2, spec((0, W), think=1.0), delay=1.0, txn_id=2)
+    h.run()
+    info = h.server._items[0]
+    assert info.at_server
+    assert not info.window
+    assert h.server.precedence.edge_count == 0
+    assert len(h.server.precedence) == 0

@@ -1,0 +1,170 @@
+"""Unit tests for the network substrate."""
+
+import pytest
+
+from repro.network import (
+    MatrixTopology,
+    Network,
+    NetworkEnvironment,
+    Site,
+    TABLE2_ENVIRONMENTS,
+    UniformTopology,
+    environment_for_latency,
+)
+from repro.sim import Simulator
+
+
+class Recorder(Site):
+    """Test site that records (time, src, payload) for every delivery."""
+
+    def __init__(self, site_id, sim):
+        super().__init__(site_id)
+        self.sim = sim
+        self.received = []
+
+    def receive(self, envelope):
+        self.received.append((self.sim.now, envelope.src, envelope.payload))
+
+
+def make_net(latency=10.0, n_sites=3, bandwidth=None):
+    sim = Simulator()
+    net = Network(sim, UniformTopology(latency), bandwidth=bandwidth)
+    sites = [net.add_site(Recorder(i, sim)) for i in range(n_sites)]
+    return sim, net, sites
+
+
+def test_delivery_after_uniform_latency():
+    sim, net, sites = make_net(latency=10.0)
+    net.send(0, 1, "hello")
+    sim.run()
+    assert sites[1].received == [(10.0, 0, "hello")]
+
+
+def test_latency_symmetric_between_pairs():
+    sim, net, sites = make_net(latency=7.0)
+    net.send(0, 2, "a")
+    net.send(2, 0, "b")
+    sim.run()
+    assert sites[2].received == [(7.0, 0, "a")]
+    assert sites[0].received == [(7.0, 2, "b")]
+
+
+def test_self_send_is_instant():
+    sim, net, sites = make_net(latency=10.0)
+    net.send(1, 1, "loopback")
+    sim.run()
+    assert sites[1].received == [(0.0, 1, "loopback")]
+
+
+def test_fifo_on_same_pair():
+    sim, net, sites = make_net(latency=5.0)
+    net.send(0, 1, "first")
+    net.send(0, 1, "second")
+    sim.run()
+    assert [p for (_, _, p) in sites[1].received] == ["first", "second"]
+
+
+def test_infinite_bandwidth_ignores_size():
+    sim, net, sites = make_net(latency=5.0)
+    net.send(0, 1, "big", size=10_000)
+    sim.run()
+    assert sites[1].received[0][0] == 5.0
+
+
+def test_finite_bandwidth_adds_transmission_time():
+    sim, net, sites = make_net(latency=5.0, bandwidth=2.0)
+    net.send(0, 1, "payload", size=8.0)  # 8 units / 2 units-per-time = 4
+    sim.run()
+    assert sites[1].received[0][0] == pytest.approx(9.0)
+
+
+def test_bandwidth_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, UniformTopology(1.0), bandwidth=0)
+
+
+def test_unknown_sites_rejected():
+    sim, net, _ = make_net()
+    with pytest.raises(KeyError):
+        net.send(0, 99, "x")
+    with pytest.raises(KeyError):
+        net.send(99, 0, "x")
+
+
+def test_duplicate_site_id_rejected():
+    sim, net, _ = make_net()
+    with pytest.raises(ValueError):
+        net.add_site(Recorder(0, sim))
+
+
+def test_site_send_helper():
+    sim, net, sites = make_net(latency=3.0)
+    sites[0].send(1, "via helper")
+    sim.run()
+    assert sites[1].received == [(3.0, 0, "via helper")]
+
+
+def test_detached_site_send_raises():
+    site = Recorder(42, Simulator())
+    with pytest.raises(RuntimeError):
+        site.send(0, "x")
+
+
+def test_stats_count_messages_and_units():
+    sim, net, _ = make_net()
+    net.send(0, 1, "a", size=2.0)
+    net.send(1, 2, "b", size=3.0)
+    sim.run()
+    assert net.stats.messages_sent == 2
+    assert net.stats.data_units_sent == 5.0
+    assert net.stats.per_type == {"str": 2}
+
+
+def test_envelope_metadata():
+    sim, net, sites = make_net(latency=4.0)
+    envelope = net.send(0, 1, "meta")
+    assert envelope.send_time == 0.0
+    assert envelope.deliver_time == 4.0
+    assert envelope.in_flight_time == 4.0
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        UniformTopology(-1.0)
+    with pytest.raises(ValueError):
+        MatrixTopology({(0, 1): -2.0})
+    with pytest.raises(ValueError):
+        MatrixTopology({}, default=-1.0)
+
+
+def test_matrix_topology_lookup_and_symmetry():
+    topo = MatrixTopology({(0, 1): 5.0, (1, 2): 7.0}, default=100.0)
+    assert topo.latency(0, 1) == 5.0
+    assert topo.latency(1, 0) == 5.0  # symmetric fallback
+    assert topo.latency(2, 1) == 7.0
+    assert topo.latency(0, 2) == 100.0  # default
+    assert topo.latency(1, 1) == 0.0
+
+
+def test_matrix_topology_asymmetric_override():
+    topo = MatrixTopology({(0, 1): 5.0, (1, 0): 9.0})
+    assert topo.latency(0, 1) == 5.0
+    assert topo.latency(1, 0) == 9.0
+
+
+def test_table2_matches_paper():
+    expected = {
+        "SS_LAN": 1.0,
+        "MS_LAN": 50.0,
+        "CAN": 100.0,
+        "MAN": 250.0,
+        "S_WAN": 500.0,
+        "L_WAN": 750.0,
+    }
+    assert {env.name: env.latency for env in TABLE2_ENVIRONMENTS} == expected
+
+
+def test_environment_for_latency():
+    assert environment_for_latency(500.0) is NetworkEnvironment.S_WAN
+    assert environment_for_latency(123.0) is None

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the lock table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.locking import LockMode, LockTable
+
+R, W = LockMode.READ, LockMode.WRITE
+
+# An action stream: (txn, op) where op is acquire-read/acquire-write on a
+# small item pool, or a release of everything the txn holds.
+ACTIONS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),        # txn
+        st.sampled_from(["read", "write", "release"]),
+        st.integers(min_value=0, max_value=3),        # item
+    ),
+    max_size=60,
+)
+
+
+def apply_actions(actions):
+    table = LockTable()
+    live_requests = {}  # txn -> set of items it has ever requested
+    for txn, op, item in actions:
+        if op == "release":
+            table.release_all(txn)
+        else:
+            mode = R if op == "read" else W
+            held = table.held_items(txn)
+            if item in held:
+                continue  # avoid upgrade paths in this generic stream
+            queued = any(t == txn for t, _ in table.waiters(item))
+            if queued:
+                continue  # one request per txn per item
+            table.acquire(txn, item, mode)
+            live_requests.setdefault(txn, set()).add(item)
+    return table
+
+
+def check_invariants(table):
+    # Collect every item mentioned anywhere.
+    items = set(table._items)
+    for item in items:
+        holders = table.holders(item)
+        waiters = table.waiters(item)
+        modes = list(holders.values())
+        # 1. Either one writer or any number of readers.
+        if W in modes:
+            assert len(modes) == 1, f"writer shares {item}: {holders}"
+        # 2. No waiter is compatible with the holders AND first in line
+        #    (otherwise it should have been granted).
+        if waiters:
+            first_txn, first_mode = waiters[0]
+            upgrade = first_txn in holders
+            if upgrade:
+                assert len(holders) > 1
+            elif not holders:
+                raise AssertionError(
+                    f"item {item} has waiters but no holders")
+            else:
+                compatible = (first_mode is R and all(m is R for m in modes))
+                assert not compatible, (
+                    f"head waiter {first_txn} compatible but not granted")
+        # 3. A transaction appears at most once in the queue.
+        queue_txns = [t for t, _ in waiters]
+        assert len(queue_txns) == len(set(queue_txns))
+
+
+@given(ACTIONS)
+@settings(max_examples=300, deadline=None)
+def test_lock_table_invariants_hold(actions):
+    table = apply_actions(actions)
+    check_invariants(table)
+
+
+@given(ACTIONS)
+@settings(max_examples=200, deadline=None)
+def test_release_everything_empties_table(actions):
+    table = apply_actions(actions)
+    for txn in range(6):
+        table.release_all(txn)
+    assert not table._items, "items remained after releasing every txn"
+
+
+@given(ACTIONS)
+@settings(max_examples=200, deadline=None)
+def test_grants_returned_by_release_are_now_held(actions):
+    table = apply_actions(actions)
+    for txn in range(6):
+        granted = table.release_all(txn)
+        for grantee, item, mode in granted:
+            assert table.holds(grantee, item, mode)
+        check_invariants(table)
+
+
+@given(st.data())
+@settings(max_examples=200, deadline=None)
+def test_fifo_grant_order_per_item(data):
+    """Waiters on one item are granted in queue order (readers batched)."""
+    table = LockTable()
+    table.acquire("holder", 0, W)
+    n = data.draw(st.integers(min_value=1, max_value=8))
+    modes = [data.draw(st.sampled_from([R, W]), label=f"mode{i}")
+             for i in range(n)]
+    for i, mode in enumerate(modes):
+        assert table.acquire(f"t{i}", 0, mode).value == "waiting"
+    granted = table.release_all("holder")
+    # The grant is the longest compatible prefix of the queue.
+    expected = []
+    if modes[0] is W:
+        expected = [("t0", 0, W)]
+    else:
+        for i, mode in enumerate(modes):
+            if mode is W:
+                break
+            expected.append((f"t{i}", 0, R))
+    assert granted == expected

@@ -1,0 +1,138 @@
+"""Property-based tests for the precedence graph and forward lists."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.locking.modes import LockMode
+from repro.protocols.forward_list import FLEntry, ForwardList, TxnRef
+from repro.protocols.precedence import CycleError, PrecedenceGraph
+
+R, W = LockMode.READ, LockMode.WRITE
+
+EDGES = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+        lambda e: e[0] != e[1]),
+    max_size=40,
+)
+
+
+def build_graph(edges):
+    graph = PrecedenceGraph()
+    accepted = []
+    for src, dst in edges:
+        try:
+            graph.add_edge(src, dst)
+            accepted.append((src, dst))
+        except CycleError:
+            pass
+    return graph, accepted
+
+
+@given(EDGES)
+@settings(max_examples=300, deadline=None)
+def test_graph_never_cycles(edges):
+    graph, _ = build_graph(edges)
+    assert graph.find_any_cycle() is None
+
+
+@given(EDGES)
+@settings(max_examples=300, deadline=None)
+def test_rejected_edges_would_have_cycled(edges):
+    graph = PrecedenceGraph()
+    for src, dst in edges:
+        if graph.would_cycle(src, dst):
+            with pytest.raises(CycleError):
+                graph.add_edge(src, dst)
+            assert graph.reaches(dst, src)
+        else:
+            graph.add_edge(src, dst)
+            assert graph.reaches(src, dst)
+
+
+@given(EDGES, st.lists(st.integers(0, 9), min_size=1, max_size=9,
+                       unique=True))
+@settings(max_examples=300, deadline=None)
+def test_linear_extension_respects_reachability(edges, nodes):
+    graph, _ = build_graph(edges)
+    order = graph.linear_extension(nodes)
+    assert sorted(order) == sorted(nodes)
+    position = {node: i for i, node in enumerate(order)}
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if graph.reaches(u, v) and not graph.reaches(v, u):
+                assert position[u] < position[v]
+            elif graph.reaches(v, u) and not graph.reaches(u, v):
+                assert position[v] < position[u]
+
+
+@given(EDGES, st.lists(st.integers(0, 9), min_size=2, max_size=9,
+                       unique=True))
+@settings(max_examples=200, deadline=None)
+def test_chaining_extension_order_never_cycles(edges, nodes):
+    """Adding chain edges along a linear extension keeps the DAG acyclic —
+    the property window freezing relies on."""
+    graph, _ = build_graph(edges)
+    order = graph.linear_extension(nodes)
+    for left, right in zip(order, order[1:]):
+        graph.add_edge(left, right)  # must not raise
+    assert graph.find_any_cycle() is None
+
+
+@given(EDGES)
+@settings(max_examples=200, deadline=None)
+def test_remove_node_keeps_graph_consistent(edges):
+    graph, accepted = build_graph(edges)
+    for node in range(0, 10, 2):
+        graph.remove_node(node)
+    assert graph.find_any_cycle() is None
+    for node in range(0, 10, 2):
+        assert graph.successors(node) == set()
+        assert graph.predecessors(node) == set()
+    for src, dst in accepted:
+        if src % 2 and dst % 2:
+            assert dst in graph.successors(src)
+
+
+REQUESTS = st.lists(
+    st.tuples(st.integers(0, 20), st.sampled_from([R, W])),
+    min_size=1, max_size=15,
+    unique_by=lambda r: r[0],
+)
+
+
+@given(REQUESTS)
+@settings(max_examples=300, deadline=None)
+def test_forward_list_structure(requests):
+    refs = [(TxnRef(txn_id=t, client_id=t % 5), mode)
+            for t, mode in requests]
+    fl = ForwardList.from_requests(refs)
+    # 1. Entry modes alternate: never two adjacent read groups, and write
+    #    entries hold exactly one transaction.
+    for left, right in zip(fl.entries, fl.entries[1:]):
+        assert not (left.is_read_group and right.is_read_group)
+    for entry in fl:
+        if not entry.is_read_group:
+            assert len(entry.txns) == 1
+    # 2. The flattened order equals the request order.
+    assert [ref.txn_id for ref in fl.all_txns()] == [
+        t for t, _ in requests]
+    assert fl.txn_count() == len(requests)
+
+
+@given(REQUESTS, st.integers(0, 5))
+@settings(max_examples=200, deadline=None)
+def test_forward_list_tail(requests, start):
+    refs = [(TxnRef(txn_id=t, client_id=1), mode) for t, mode in requests]
+    fl = ForwardList.from_requests(refs)
+    tail = fl.tail(start)
+    assert tail.entries == fl.entries[start:]
+
+
+def test_fl_entry_validation():
+    with pytest.raises(ValueError):
+        FLEntry(R, ())
+    with pytest.raises(ValueError):
+        FLEntry(W, (TxnRef(1, 1), TxnRef(2, 2)))
+    entry = FLEntry(R, (TxnRef(1, 1),))
+    with pytest.raises(ValueError):
+        _ = entry.writer

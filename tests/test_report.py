@@ -1,0 +1,21 @@
+"""Test the one-shot reproduction report generator (quick mode)."""
+
+from repro.analysis.report import generate_report
+
+
+def test_quick_report_contains_every_figure_and_table():
+    report = generate_report(fidelity="smoke", quick=True,
+                             include_plots=False)
+    assert "# Reproduction report" in report
+    assert "Table 1" in report and "Table 2" in report
+    for figure in range(1, 16):
+        assert f"Figure {figure} " in report, figure
+    assert "measured crossover" in report
+    assert "improvement" in report
+
+
+def test_quick_report_with_plots_renders_legends():
+    report = generate_report(fidelity="smoke", quick=True,
+                             include_plots=True)
+    assert "legend:" in report
+    assert "*=s2pl" in report

@@ -1,0 +1,141 @@
+"""Unit tests for the simulation engine (clock, heap, run loop)."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_later_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_later(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.call_soon(seen.append, "a")
+    sim.call_soon(seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b"]
+    assert sim.now == 0.0
+
+
+def test_entries_process_in_timestamp_order():
+    sim = Simulator()
+    seen = []
+    sim.call_later(3.0, seen.append, 3)
+    sim.call_later(1.0, seen.append, 1)
+    sim.call_later(2.0, seen.append, 2)
+    sim.run()
+    assert seen == [1, 2, 3]
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for tag in ("first", "second", "third"):
+        sim.call_later(7.0, seen.append, tag)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_run_until_time_stops_and_sets_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, 1)
+    sim.call_later(10.0, seen.append, 10)
+    sim.run(until=5.0)
+    assert seen == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == [1, 10]
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+    event = sim.event()
+    sim.call_later(4.0, event.succeed, "done")
+    assert sim.run(until=event) == "done"
+    assert sim.now == 4.0
+
+
+def test_run_until_event_raises_on_failure():
+    sim = Simulator()
+    event = sim.event()
+    sim.call_later(1.0, event.fail, RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(until=event)
+
+
+def test_run_until_event_never_fired_is_an_error():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError, match="ran out of events"):
+        sim.run(until=event)
+
+
+def test_run_until_past_time_is_an_error():
+    sim = Simulator()
+    sim.call_later(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=2.0)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.timeout(-0.5)
+
+
+def test_step_processes_one_entry():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, "a")
+    sim.call_later(2.0, seen.append, "b")
+    assert sim.step() is True
+    assert seen == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_and_pending():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    assert sim.pending == 0
+    sim.call_later(3.5, lambda: None)
+    assert sim.peek() == 3.5
+    assert sim.pending == 1
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.call_soon(lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_nested_scheduling_during_run():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append((sim.now, depth))
+        if depth < 3:
+            sim.call_later(1.0, chain, depth + 1)
+
+    sim.call_soon(chain, 0)
+    sim.run()
+    assert seen == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]

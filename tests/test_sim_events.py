@@ -1,0 +1,154 @@
+"""Unit tests for events, timeouts and conditions."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_event_lifecycle(sim):
+    event = sim.event()
+    assert not event.triggered
+    assert not event.processed
+    event.succeed(42)
+    assert event.triggered
+    assert not event.processed
+    sim.run()
+    assert event.processed
+    assert event.ok
+    assert event.value == 42
+
+
+def test_event_value_before_trigger_is_error(sim):
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_double_trigger_rejected(sim):
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError())
+
+
+def test_fail_requires_exception(sim):
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_failed_event_value_raises(sim):
+    event = sim.event()
+    event.fail(ValueError("nope"))
+    event.defused = True
+    sim.run()
+    assert not event.ok
+    with pytest.raises(ValueError, match="nope"):
+        _ = event.value
+
+
+def test_unhandled_failure_surfaces_at_processing(sim):
+    event = sim.event()
+    event.fail(RuntimeError("unhandled"))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_callbacks_run_in_registration_order(sim):
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append("one"))
+    event.add_callback(lambda e: seen.append("two"))
+    event.succeed()
+    sim.run()
+    assert seen == ["one", "two"]
+
+
+def test_callback_added_after_processing_still_runs(sim):
+    event = sim.event()
+    event.succeed("late")
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_remove_callback(sim):
+    event = sim.event()
+    seen = []
+    callback = seen.append
+    event.add_callback(callback)
+    event.remove_callback(callback)
+    event.succeed()
+    sim.run()
+    assert seen == []
+
+
+def test_timeout_fires_at_delay(sim):
+    times = []
+    timeout = sim.timeout(2.5, value="tick")
+    timeout.add_callback(lambda e: times.append((sim.now, e.value)))
+    sim.run()
+    assert times == [(2.5, "tick")]
+
+
+def test_timeout_cannot_be_succeeded_manually(sim):
+    timeout = sim.timeout(1.0)
+    with pytest.raises(SimulationError):
+        timeout.succeed()
+    sim.run()
+
+
+def test_all_of_collects_values_in_child_order(sim):
+    first, second = sim.event(), sim.event()
+    condition = sim.all_of([first, second])
+    sim.call_later(2.0, second.succeed, "b")
+    sim.call_later(5.0, first.succeed, "a")
+    result = sim.run(until=condition)
+    assert result == ["a", "b"]
+    assert sim.now == 5.0
+
+
+def test_all_of_empty_succeeds_immediately(sim):
+    condition = sim.all_of([])
+    assert sim.run(until=condition) == []
+
+
+def test_all_of_fails_fast(sim):
+    first, second = sim.event(), sim.event()
+    condition = sim.all_of([first, second])
+    sim.call_later(1.0, first.fail, RuntimeError("child failed"))
+    with pytest.raises(RuntimeError, match="child failed"):
+        sim.run(until=condition)
+    # the never-triggered sibling must not poison later runs
+    second.succeed("late")
+    sim.run()
+
+
+def test_any_of_returns_first_event(sim):
+    slow, fast = sim.timeout(10.0, "slow"), sim.timeout(1.0, "fast")
+    condition = sim.any_of([slow, fast])
+    winner = sim.run(until=condition)
+    assert winner is fast
+    assert winner.value == "fast"
+    assert sim.now == 1.0
+    sim.run()  # drain the slow timeout harmlessly
+
+
+def test_any_of_later_failures_are_defused(sim):
+    fast, failing = sim.event(), sim.event()
+    condition = sim.any_of([fast, failing])
+    sim.call_later(1.0, fast.succeed, "ok")
+    sim.call_later(2.0, failing.fail, RuntimeError("late failure"))
+    assert sim.run(until=condition) is fast
+    sim.run()  # must not raise: the late failure was defused

@@ -1,0 +1,93 @@
+"""Unit tests for the FIFO mailbox."""
+
+import pytest
+
+from repro.sim import Mailbox, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_put_then_get(sim):
+    box = Mailbox(sim)
+    box.put("hello")
+    assert sim.run(until=box.get()) == "hello"
+    assert len(box) == 0
+
+
+def test_get_blocks_until_put(sim):
+    box = Mailbox(sim)
+    results = []
+
+    def consumer():
+        item = yield box.get()
+        results.append((sim.now, item))
+
+    sim.spawn(consumer())
+    sim.call_later(4.0, box.put, "late item")
+    sim.run()
+    assert results == [(4.0, "late item")]
+
+
+def test_fifo_order_of_items(sim):
+    box = Mailbox(sim)
+    for item in (1, 2, 3):
+        box.put(item)
+
+    def consumer():
+        out = []
+        for _ in range(3):
+            out.append((yield box.get()))
+        return out
+
+    assert sim.run(until=sim.spawn(consumer())) == [1, 2, 3]
+
+
+def test_fifo_order_of_getters(sim):
+    box = Mailbox(sim)
+    results = []
+
+    def consumer(name):
+        item = yield box.get()
+        results.append((name, item))
+
+    sim.spawn(consumer("first"))
+    sim.spawn(consumer("second"))
+    sim.call_later(1.0, box.put, "x")
+    sim.call_later(2.0, box.put, "y")
+    sim.run()
+    assert results == [("first", "x"), ("second", "y")]
+
+
+def test_len_counts_queued_items(sim):
+    box = Mailbox(sim)
+    box.put("a")
+    box.put("b")
+    assert len(box) == 2
+    assert box.peek_all() == ["a", "b"]
+
+
+def test_interrupted_getter_does_not_consume(sim):
+    from repro.sim import Interrupt
+
+    box = Mailbox(sim)
+    results = []
+
+    def fickle():
+        try:
+            yield box.get()
+        except Interrupt:
+            results.append("interrupted")
+
+    def steady():
+        item = yield box.get()
+        results.append(item)
+
+    fickle_process = sim.spawn(fickle())
+    sim.spawn(steady())
+    sim.call_later(1.0, fickle_process.interrupt)
+    sim.call_later(2.0, box.put, "the item")
+    sim.run()
+    assert results == ["interrupted", "the item"]

@@ -1,0 +1,175 @@
+"""Unit tests for generator-driven processes."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator, SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_process_runs_and_returns_value(sim):
+    def worker():
+        yield sim.timeout(3.0)
+        return "done"
+
+    process = sim.spawn(worker())
+    assert sim.run(until=process) == "done"
+    assert sim.now == 3.0
+    assert not process.alive
+
+
+def test_process_receives_event_values(sim):
+    def worker():
+        value = yield sim.timeout(1.0, value="tick")
+        return value
+
+    assert sim.run(until=sim.spawn(worker())) == "tick"
+
+
+def test_sequential_timeouts_accumulate(sim):
+    def worker():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+        return sim.now
+
+    assert sim.run(until=sim.spawn(worker())) == 6.0
+
+
+def test_processes_interleave(sim):
+    trace = []
+
+    def worker(name, delay):
+        for _ in range(2):
+            yield sim.timeout(delay)
+            trace.append((sim.now, name))
+
+    sim.spawn(worker("fast", 1.0))
+    sim.spawn(worker("slow", 1.5))
+    sim.run()
+    assert trace == [(1.0, "fast"), (1.5, "slow"), (2.0, "fast"), (3.0, "slow")]
+
+
+def test_process_can_wait_on_process(sim):
+    def child():
+        yield sim.timeout(5.0)
+        return "child result"
+
+    def parent():
+        result = yield sim.spawn(child())
+        return f"got {result}"
+
+    assert sim.run(until=sim.spawn(parent())) == "got child result"
+
+
+def test_exception_in_process_fails_the_process_event(sim):
+    def worker():
+        yield sim.timeout(1.0)
+        raise ValueError("exploded")
+
+    with pytest.raises(ValueError, match="exploded"):
+        sim.run(until=sim.spawn(worker()))
+
+
+def test_failed_event_is_thrown_into_waiter(sim):
+    event = sim.event()
+
+    def worker():
+        try:
+            yield event
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    process = sim.spawn(worker())
+    sim.call_later(1.0, event.fail, RuntimeError("bad"))
+    assert sim.run(until=process) == "caught bad"
+
+
+def test_yielding_non_event_fails(sim):
+    def worker():
+        yield 42
+
+    with pytest.raises(SimulationError, match="must yield events"):
+        sim.run(until=sim.spawn(worker()))
+
+
+def test_waiting_on_self_fails(sim):
+    holder = {}
+
+    def worker():
+        yield holder["me"]
+
+    holder["me"] = sim.spawn(worker())
+    with pytest.raises(SimulationError, match="wait on itself"):
+        sim.run(until=holder["me"])
+
+
+def test_spawn_requires_generator(sim):
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)
+
+
+def test_interrupt_delivers_cause(sim):
+    def worker():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, sim.now)
+
+    process = sim.spawn(worker())
+    sim.call_later(2.0, process.interrupt, "abort!")
+    assert sim.run(until=process) == ("interrupted", "abort!", 2.0)
+
+
+def test_interrupt_finished_process_returns_false(sim):
+    def worker():
+        yield sim.timeout(1.0)
+
+    process = sim.spawn(worker())
+    sim.run()
+    assert process.interrupt() is False
+
+
+def test_interrupted_process_can_rewait(sim):
+    event = sim.event()
+
+    def worker():
+        try:
+            yield event
+        except Interrupt:
+            pass
+        value = yield event  # re-wait on the same event
+        return (value, sim.now)
+
+    process = sim.spawn(worker())
+    sim.call_later(1.0, process.interrupt)
+    sim.call_later(5.0, event.succeed, "finally")
+    assert sim.run(until=process) == ("finally", 5.0)
+
+
+def test_escaped_interrupt_is_kernel_error(sim):
+    def worker():
+        yield sim.timeout(100.0)
+
+    process = sim.spawn(worker())
+    sim.call_later(1.0, process.interrupt)
+    with pytest.raises(SimulationError, match="Interrupt"):
+        sim.run()
+
+
+def test_waiting_two_processes_on_one_event(sim):
+    event = sim.event()
+    results = []
+
+    def worker(name):
+        value = yield event
+        results.append((name, value, sim.now))
+
+    sim.spawn(worker("a"))
+    sim.spawn(worker("b"))
+    sim.call_later(3.0, event.succeed, "shared")
+    sim.run()
+    assert results == [("a", "shared", 3.0), ("b", "shared", 3.0)]

@@ -1,0 +1,106 @@
+"""Unit tests for metrics collection and confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.protocols.transaction import TxnOutcome
+from repro.stats.ci import ConfidenceInterval, mean_confidence_interval
+from repro.stats.collector import MetricsCollector
+
+
+def outcome(txn_id, committed=True, start=0.0, end=10.0, reason=None):
+    return TxnOutcome(txn_id=txn_id, client_id=1, committed=committed,
+                      start_time=start, end_time=end, n_ops=1, n_writes=0,
+                      abort_reason=reason)
+
+
+class TestCollector:
+    def test_warmup_discarded(self):
+        c = MetricsCollector(warmup_transactions=2)
+        for i in range(5):
+            c.record_outcome(outcome(i, end=100.0 + i))
+        assert c.metrics.warmup_discarded == 2
+        assert c.metrics.committed == 3
+
+    def test_mean_response_time(self):
+        c = MetricsCollector(0)
+        c.record_outcome(outcome(1, start=0, end=10))
+        c.record_outcome(outcome(2, start=5, end=25))
+        assert c.metrics.mean_response_time == pytest.approx(15.0)
+
+    def test_abort_percentage(self):
+        c = MetricsCollector(0)
+        c.record_outcome(outcome(1))
+        c.record_outcome(outcome(2, committed=False, reason="deadlock"))
+        c.record_outcome(outcome(3, committed=False, reason="deadlock"))
+        c.record_outcome(outcome(4))
+        assert c.metrics.abort_percentage == pytest.approx(50.0)
+        assert c.metrics.abort_reasons == {"deadlock": 2}
+
+    def test_aborted_excluded_from_response_times(self):
+        c = MetricsCollector(0)
+        c.record_outcome(outcome(1, start=0, end=10))
+        c.record_outcome(outcome(2, committed=False, start=0, end=9999))
+        assert c.metrics.mean_response_time == pytest.approx(10.0)
+
+    def test_empty_metrics_are_nan(self):
+        c = MetricsCollector(0)
+        assert math.isnan(c.metrics.mean_response_time)
+        assert math.isnan(c.metrics.abort_percentage)
+        assert math.isnan(c.metrics.throughput)
+
+    def test_throughput(self):
+        c = MetricsCollector(0)
+        c.record_outcome(outcome(1, start=0, end=10))
+        c.record_outcome(outcome(2, start=10, end=100))
+        assert c.metrics.throughput == pytest.approx(2 / 100)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(-1)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.n == 1
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_identical_samples_zero_width(self):
+        ci = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert ci.half_width == 0.0
+        assert ci.relative_precision == 0.0
+
+    def test_known_value(self):
+        # n=5, mean=10, sample sd=1 -> half = 2.776 * 1/sqrt(5)
+        samples = [10 - math.sqrt(2), 10, 10, 10, 10 + math.sqrt(2)]
+        ci = mean_confidence_interval(samples)
+        assert ci.mean == pytest.approx(10.0)
+        assert ci.half_width == pytest.approx(2.776 / math.sqrt(5), rel=1e-3)
+
+    def test_bounds_and_relative_precision(self):
+        ci = ConfidenceInterval(mean=100.0, half_width=2.0, confidence=0.95,
+                                n=5)
+        assert ci.low == 98.0
+        assert ci.high == 102.0
+        assert ci.relative_precision == pytest.approx(0.02)
+
+    def test_more_samples_tighter_interval(self):
+        wide = mean_confidence_interval([9.0, 11.0])
+        tight = mean_confidence_interval([9.0, 11.0] * 10)
+        assert tight.half_width < wide.half_width
+
+    def test_large_dof_uses_normal_tail(self):
+        samples = [float(i % 2) for i in range(200)]
+        ci = mean_confidence_interval(samples)
+        assert ci.half_width == pytest.approx(
+            1.96 * 0.5013 / math.sqrt(200), rel=1e-2)
+
+    def test_str_renders(self):
+        assert "±" in str(mean_confidence_interval([1.0, 2.0, 3.0]))

@@ -1,0 +1,90 @@
+"""Unit tests for the strictness checker."""
+
+from repro.locking.modes import LockMode
+from repro.validate.history import HistoryRecorder
+from repro.validate.strictness import check_strictness
+
+R, W = LockMode.READ, LockMode.WRITE
+
+
+def history(accesses, commits):
+    """accesses: (txn, item, mode, version, time); commits: txn -> time."""
+    h = HistoryRecorder()
+    for txn, item, mode, version, time in accesses:
+        h.record_access(txn, item, mode, version, time)
+    for txn, time in commits.items():
+        h.record_commit(txn, time=time)
+    return h
+
+
+def test_empty_history_strict():
+    assert check_strictness(HistoryRecorder()).ok
+
+
+def test_read_after_commit_is_strict():
+    h = history([("w", 0, W, 1, 5.0), ("r", 0, R, 1, 20.0)],
+                {"w": 10.0, "r": 30.0})
+    report = check_strictness(h)
+    assert report.ok
+    assert report.n_reads_checked == 1
+
+
+def test_dirty_read_detected():
+    h = history([("w", 0, W, 1, 5.0), ("r", 0, R, 1, 7.0)],
+                {"w": 10.0, "r": 30.0})
+    report = check_strictness(h)
+    assert not report.ok
+    assert "before its writer" in report.violations[0]
+
+
+def test_overwrite_of_uncommitted_detected():
+    h = history([("a", 0, W, 1, 5.0), ("b", 0, W, 2, 7.0)],
+                {"a": 10.0, "b": 30.0})
+    report = check_strictness(h)
+    assert not report.ok
+    assert "before the previous writer" in report.violations[0]
+
+
+def test_overwrite_after_commit_is_strict():
+    h = history([("a", 0, W, 1, 5.0), ("b", 0, W, 2, 12.0)],
+                {"a": 10.0, "b": 30.0})
+    report = check_strictness(h)
+    assert report.ok
+    assert report.n_writes_checked == 1
+
+
+def test_same_instant_commit_and_read_allowed():
+    h = history([("w", 0, W, 1, 5.0), ("r", 0, R, 1, 10.0)],
+                {"w": 10.0, "r": 30.0})
+    assert check_strictness(h).ok
+
+
+def test_own_accesses_skipped():
+    h = history([("a", 0, W, 1, 5.0), ("a", 0, R, 1, 6.0)], {"a": 10.0})
+    report = check_strictness(h)
+    assert report.ok
+    assert report.n_reads_checked == 0
+
+
+def test_aborted_writer_ignored():
+    h = HistoryRecorder()
+    h.record_access("loser", 0, W, 1, 5.0)
+    h.record_abort("loser")
+    h.record_access("r", 0, R, 0, 7.0)
+    h.record_commit("r", time=9.0)
+    assert check_strictness(h).ok
+
+
+def test_missing_commit_time_skipped():
+    h = HistoryRecorder()
+    h.record_access("w", 0, W, 1, 5.0)
+    h.record_commit("w")  # no time recorded
+    h.record_access("r", 0, R, 1, 6.0)
+    h.record_commit("r", time=9.0)
+    report = check_strictness(h)
+    assert report.ok
+    assert report.n_reads_checked == 0
+
+
+def test_str_renders():
+    assert "strict" in str(check_strictness(HistoryRecorder()))

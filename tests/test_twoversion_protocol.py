@@ -1,0 +1,154 @@
+"""Protocol-level tests for two-version 2PL (the §3.4 comparator).
+
+2V-2PL commits are server-certified: the client's response time includes
+the commit round trip, and a commit request can be refused (aborting the
+transaction) when certification deadlocks.
+"""
+
+import pytest
+
+from helpers import Harness, R, W, spec
+
+
+def test_single_writer_commits():
+    h = Harness("2v2pl", n_clients=1, latency=10.0)
+    h.launch(1, spec((0, W), think=1.0))
+    outcomes = h.run()
+    assert outcomes[1].committed
+    # request(10) + ship(10) + think(1) + commit request(10) + ack(10).
+    assert outcomes[1].response_time == pytest.approx(41.0)
+    assert h.store.read(0).version == 1
+    h.check_serializable()
+
+
+def test_writer_overlaps_readers_beating_s2pl():
+    """The defining property: the writer executes concurrently with a
+    long reader and finishes earlier than it would under s-2PL (where it
+    could not even start until the reader released)."""
+    ends = {}
+    for protocol in ("2v2pl", "s2pl"):
+        h = Harness(protocol, n_clients=3, latency=10.0)
+        h.launch(1, spec((0, R), think=100.0), txn_id=1)
+        h.launch(2, spec((0, W), think=1.0), delay=1.0, txn_id=2)
+        outcomes = h.run()
+        assert all(out.committed for out in outcomes.values())
+        h.check_serializable()
+        ends[protocol] = outcomes[2].end_time
+    assert ends["2v2pl"] < ends["s2pl"]
+
+
+def test_certification_delays_install_until_readers_drain():
+    h = Harness("2v2pl", n_clients=3, latency=10.0)
+    h.launch(1, spec((0, R), think=100.0), txn_id=1)
+    h.launch(2, spec((0, W), think=1.0), delay=1.0, txn_id=2)
+    # Run until the writer has requested its commit but the reader still
+    # holds its read lock: nothing must be installed yet.
+    h.run(until=80.0)
+    assert h.store.read(0).version == 0
+    assert h.server.certify_waits == 1
+    h.run()
+    assert h.outcomes[2].committed
+    assert h.store.read(0).version == 1   # installed after reader drained
+    h.check_serializable()
+
+
+def test_reader_during_write_sees_committed_version():
+    h = Harness("2v2pl", n_clients=3, latency=10.0)
+    h.launch(1, spec((0, W), think=50.0), txn_id=1)   # slow writer
+    h.launch(2, spec((0, R), think=1.0), delay=5.0, txn_id=2)
+    outcomes = h.run()
+    assert all(out.committed for out in outcomes.values())
+    reads = [r for r in h.history.reads() if r.txn_id == 2]
+    assert reads[0].version == 0  # old committed copy, not the new one
+    h.check_serializable()
+
+
+def test_read_after_certification_sees_new_version():
+    h = Harness("2v2pl", n_clients=3, latency=10.0)
+    h.launch(1, spec((0, W), think=1.0), txn_id=1)
+    h.launch(2, spec((0, R), think=1.0), delay=100.0, txn_id=2)
+    h.run()
+    reads = [r for r in h.history.reads() if r.txn_id == 2]
+    assert reads[0].version == 1
+    h.check_serializable()
+
+
+def test_writers_still_serialize():
+    h = Harness("2v2pl", n_clients=3, latency=10.0)
+    for client in (1, 2, 3):
+        h.launch(client, spec((0, W), think=1.0))
+    outcomes = h.run()
+    assert all(out.committed for out in outcomes.values())
+    assert h.store.read(0).version == 3
+    h.check_serializable()
+
+
+def test_write_write_deadlock_detected():
+    h = Harness("2v2pl", n_clients=2, latency=10.0)
+    h.launch(1, spec((0, W), (1, W), think=1.0))
+    h.launch(2, spec((1, W), (0, W), think=1.0))
+    outcomes = h.run()
+    aborted = [o for o in outcomes.values() if not o.committed]
+    assert len(aborted) == 1
+    assert h.server.deadlocks_found >= 1
+    h.check_serializable()
+
+
+def test_certification_crossing_refuses_one_commit():
+    """The 2V hazard the certify lock exists for: two transactions each
+    read the old copy of what the other writes. Both request commits;
+    certification deadlocks; exactly one commit is refused."""
+    h = Harness("2v2pl", n_clients=2, n_items=2, latency=10.0)
+    h.launch(1, spec((0, W), (1, R), think=5.0), txn_id=1)
+    h.launch(2, spec((1, W), (0, R), think=5.0), txn_id=2)
+    outcomes = h.run()
+    committed = [o for o in outcomes.values() if o.committed]
+    aborted = [o for o in outcomes.values() if not o.committed]
+    assert len(committed) == 1
+    assert len(aborted) == 1
+    h.check_serializable()
+    # Exactly the survivor's write landed.
+    versions = h.store.snapshot_versions()
+    assert sorted(versions.values()) == [0, 1]
+
+
+def test_certification_deadlock_via_queued_reader():
+    """txn1 holds a read lock the certifier needs, then queues behind the
+    certifier's certify lock on another item: cycle, reader aborted."""
+    h = Harness("2v2pl", n_clients=3, n_items=2, latency=10.0)
+    # txn1: long think on item 0, so its item-1 request arrives after
+    # txn2's commit request has frozen item 1 under the certify lock.
+    h.launch(1, spec((0, R), (1, R), think=150.0), txn_id=1)
+    h.launch(2, spec((1, W), (0, W), think=5.0), delay=1.0, txn_id=2)
+    outcomes = h.run()
+    assert outcomes[2].committed       # the certifier gets through
+    assert not outcomes[1].committed   # the queued reader was the victim
+    h.check_serializable()
+    assert h.store.snapshot_versions() == {0: 1, 1: 1}
+
+
+def test_read_only_costs_one_extra_round_trip():
+    from repro import SimulationConfig, run_simulation
+
+    results = {}
+    for protocol in ("s2pl", "2v2pl"):
+        cfg = SimulationConfig(protocol=protocol, n_clients=6, n_items=8,
+                               read_probability=1.0, network_latency=50.0,
+                               total_transactions=120,
+                               warmup_transactions=20, seed=8)
+        results[protocol] = run_simulation(cfg).mean_response_time
+    # Identical concurrency read-only; 2V adds the commit round trip (2L).
+    assert results["2v2pl"] == pytest.approx(results["s2pl"] + 100.0,
+                                             rel=0.05)
+
+
+def test_contended_runs_serializable_and_strict():
+    from repro import SimulationConfig, run_simulation
+
+    for seed in (1, 2, 3):
+        result = run_simulation(SimulationConfig(
+            protocol="2v2pl", n_clients=10, n_items=6, max_ops=3,
+            read_probability=0.5, network_latency=20.0,
+            total_transactions=150, warmup_transactions=0, seed=seed))
+        assert result.serializability.ok
+        assert result.metrics.finished == 150

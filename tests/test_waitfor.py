@@ -1,0 +1,95 @@
+"""Unit tests for the wait-for graph."""
+
+from repro.locking import WaitForGraph
+
+
+def test_no_cycle_in_chain():
+    wfg = WaitForGraph()
+    wfg.add_edge("a", "b")
+    wfg.add_edge("b", "c")
+    assert wfg.find_cycle_from("a") is None
+    assert wfg.find_any_cycle() is None
+
+
+def test_two_cycle():
+    wfg = WaitForGraph()
+    wfg.add_edge("a", "b")
+    wfg.add_edge("b", "a")
+    cycle = wfg.find_cycle_from("a")
+    assert cycle == ["a", "b", "a"]
+
+
+def test_three_cycle_found_from_any_member():
+    wfg = WaitForGraph()
+    wfg.add_edges("a", ["b"])
+    wfg.add_edges("b", ["c"])
+    wfg.add_edges("c", ["a"])
+    for start in "abc":
+        cycle = wfg.find_cycle_from(start)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1] == start
+        assert set(cycle) == {"a", "b", "c"}
+
+
+def test_cycle_not_through_start_is_ignored_by_probe():
+    wfg = WaitForGraph()
+    wfg.add_edge("x", "a")
+    wfg.add_edge("a", "b")
+    wfg.add_edge("b", "a")
+    assert wfg.find_cycle_from("x") is None
+    assert wfg.find_any_cycle() is not None
+
+
+def test_self_edges_ignored():
+    wfg = WaitForGraph()
+    wfg.add_edge("a", "a")
+    assert wfg.edge_count == 0
+    assert wfg.find_any_cycle() is None
+
+
+def test_remove_node_breaks_cycle():
+    wfg = WaitForGraph()
+    wfg.add_edge("a", "b")
+    wfg.add_edge("b", "c")
+    wfg.add_edge("c", "a")
+    wfg.remove_node("b")
+    assert wfg.find_any_cycle() is None
+    assert wfg.successors("a") == set()
+    assert wfg.successors("c") == {"a"}
+
+
+def test_remove_edge():
+    wfg = WaitForGraph()
+    wfg.add_edge("a", "b")
+    wfg.add_edge("a", "c")
+    wfg.remove_edge("a", "b")
+    assert wfg.successors("a") == {"c"}
+    wfg.remove_edge("a", "c")
+    assert wfg.successors("a") == set()
+    wfg.remove_edge("a", "zzz")  # no-op
+
+
+def test_diamond_is_acyclic():
+    wfg = WaitForGraph()
+    wfg.add_edges("a", ["b", "c"])
+    wfg.add_edges("b", ["d"])
+    wfg.add_edges("c", ["d"])
+    assert wfg.find_any_cycle() is None
+
+
+def test_edge_count():
+    wfg = WaitForGraph()
+    wfg.add_edges("a", ["b", "c"])
+    wfg.add_edge("b", "c")
+    assert wfg.edge_count == 3
+
+
+def test_long_cycle_detected():
+    wfg = WaitForGraph()
+    nodes = [f"t{i}" for i in range(50)]
+    for left, right in zip(nodes, nodes[1:]):
+        wfg.add_edge(left, right)
+    wfg.add_edge(nodes[-1], nodes[0])
+    cycle = wfg.find_cycle_from("t0")
+    assert cycle is not None
+    assert len(cycle) == 51

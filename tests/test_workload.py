@@ -1,0 +1,123 @@
+"""Unit tests for workload generation (Table 1 semantics)."""
+
+import pytest
+
+from repro.locking.modes import LockMode
+from repro.sim import RandomStreams
+from repro.workload.generator import WorkloadGenerator, WorkloadParams
+from repro.workload.spec import Operation, TransactionSpec
+
+
+def make_generator(seed=1, **overrides):
+    params = WorkloadParams(**overrides)
+    return WorkloadGenerator(params, RandomStreams(seed))
+
+
+class TestParams:
+    def test_defaults_match_table1(self):
+        p = WorkloadParams()
+        assert p.n_items == 25
+        assert (p.min_ops, p.max_ops) == (1, 5)
+        assert (p.think_min, p.think_max) == (1.0, 3.0)
+        assert (p.idle_min, p.idle_max) == (2.0, 10.0)
+
+    def test_read_probability_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(read_probability=1.5)
+        with pytest.raises(ValueError):
+            WorkloadParams(read_probability=-0.1)
+
+    def test_ops_range_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(min_ops=0)
+        with pytest.raises(ValueError):
+            WorkloadParams(min_ops=4, max_ops=2)
+        with pytest.raises(ValueError):
+            WorkloadParams(max_ops=30, n_items=25)
+
+    def test_time_ranges_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(think_min=5, think_max=2)
+        with pytest.raises(ValueError):
+            WorkloadParams(idle_min=-1)
+
+
+class TestSpec:
+    def test_spec_requires_operations(self):
+        with pytest.raises(ValueError):
+            TransactionSpec(operations=())
+
+    def test_spec_rejects_duplicate_items(self):
+        op = Operation(item_id=3, mode=LockMode.READ, think_time=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            TransactionSpec(operations=(op, op))
+
+    def test_spec_properties(self):
+        ops = (Operation(0, LockMode.READ, 1.0),
+               Operation(1, LockMode.WRITE, 2.0))
+        s = TransactionSpec(operations=ops)
+        assert s.n_ops == 2
+        assert s.items == (0, 1)
+        assert s.n_writes == 1
+        assert not s.is_read_only
+
+
+class TestGenerator:
+    def test_ops_within_bounds_and_distinct(self):
+        gen = make_generator()
+        for _ in range(200):
+            s = gen.next_spec(client_id=1)
+            assert 1 <= s.n_ops <= 5
+            assert len(set(s.items)) == s.n_ops
+            assert all(0 <= item < 25 for item in s.items)
+            assert all(1.0 <= op.think_time <= 3.0 for op in s.operations)
+
+    def test_read_probability_zero_is_all_writes(self):
+        gen = make_generator(read_probability=0.0)
+        for _ in range(50):
+            s = gen.next_spec(1)
+            assert s.n_writes == s.n_ops
+
+    def test_read_probability_one_is_read_only(self):
+        gen = make_generator(read_probability=1.0)
+        for _ in range(50):
+            assert gen.next_spec(1).is_read_only
+
+    def test_read_fraction_approximates_probability(self):
+        gen = make_generator(read_probability=0.6)
+        reads = ops = 0
+        for _ in range(500):
+            s = gen.next_spec(1)
+            ops += s.n_ops
+            reads += s.n_ops - s.n_writes
+        assert 0.55 < reads / ops < 0.65
+
+    def test_idle_time_within_bounds(self):
+        gen = make_generator()
+        for _ in range(100):
+            assert 2.0 <= gen.idle_time(1) <= 10.0
+
+    def test_stagger_within_idle_max(self):
+        gen = make_generator()
+        for client in range(10):
+            assert 0.0 <= gen.initial_stagger(client) <= 10.0
+
+    def test_deterministic_per_seed(self):
+        a, b = make_generator(seed=5), make_generator(seed=5)
+        for client in (1, 2, 3):
+            assert a.next_spec(client).items == b.next_spec(client).items
+
+    def test_clients_are_independent_streams(self):
+        gen = make_generator(seed=5)
+        fresh = make_generator(seed=5)
+        # Consuming many specs for client 1 must not shift client 2.
+        expected = fresh.next_spec(2).items
+        for _ in range(100):
+            gen.next_spec(1)
+        assert gen.next_spec(2).items == expected
+
+    def test_generated_counter(self):
+        gen = make_generator()
+        for _ in range(7):
+            gen.next_spec(1)
+        assert gen.generated == 7
