@@ -5,6 +5,9 @@ series (text table + ASCII plot) so `pytest benchmarks/ --benchmark-only -s`
 doubles as the reproduction report. Scale is controlled by the
 REPRO_BENCH_FIDELITY environment variable: `smoke`, `bench` (default), or
 `paper` (the published 50,000-transaction, 5-replication runs — slow).
+REPRO_BENCH_JOBS sets the number of worker processes each sweep fans out
+over (default 1 = serial; `0` or `auto` = all CPUs); results are
+bit-identical whatever the job count.
 """
 
 import os
@@ -22,6 +25,25 @@ from repro.core.config import Fidelity
 def fidelity():
     name = os.environ.get("REPRO_BENCH_FIDELITY", "bench").upper()
     return Fidelity[name]
+
+
+@pytest.fixture(scope="session")
+def strict_claims(fidelity):
+    """Whether to assert the paper-claim thresholds.
+
+    The quantitative claims are calibrated for bench/paper run lengths;
+    at smoke scale (300 transactions, 1 replication) a single run is too
+    noisy for them, and the suite only exercises the figure pipeline.
+    """
+    return fidelity is not Fidelity.SMOKE
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    from repro.core.parallel import resolve_jobs
+
+    value = os.environ.get("REPRO_BENCH_JOBS", "1")
+    return resolve_jobs(None if value.lower() == "auto" else int(value))
 
 
 @pytest.fixture(scope="session")

@@ -16,7 +16,7 @@ SEED = 33
 BANDWIDTHS = (None, 10.0, 1.0, 0.1, 0.02)
 
 
-def run_ablation(fidelity):
+def run_ablation(fidelity, jobs=1):
     config = SimulationConfig(
         read_probability=0.6, network_latency=250.0,
         total_transactions=fidelity.transactions,
@@ -27,13 +27,15 @@ def run_ablation(fidelity):
         for protocol in ("s2pl", "g2pl"):
             cell[protocol] = run_replications(
                 config.replace(protocol=protocol, bandwidth=bandwidth),
-                replications=fidelity.replications, base_seed=SEED)
+                replications=fidelity.replications, base_seed=SEED,
+                jobs=jobs)
         rows.append((bandwidth, cell))
     return rows
 
 
-def test_ablation_bandwidth(benchmark, report, fidelity):
-    rows = benchmark.pedantic(run_ablation, args=(fidelity,),
+def test_ablation_bandwidth(benchmark, report, fidelity, jobs,
+                            strict_claims):
+    rows = benchmark.pedantic(run_ablation, args=(fidelity, jobs),
                               rounds=1, iterations=1)
     lines = ["Ablation A2: response time vs bandwidth "
              "(pr=0.6, MAN latency 250)",
@@ -49,5 +51,6 @@ def test_ablation_bandwidth(benchmark, report, fidelity):
     lines.append("expected: the g-2PL advantage erodes as bandwidth "
                  "shrinks (its messages are larger)")
     emit(report, *lines)
-    assert improvements[None] > 0          # rounds dominate: g-2PL wins
-    assert improvements[0.02] < improvements[None]  # size starts to bite
+    if strict_claims:
+        assert improvements[None] > 0      # rounds dominate: g-2PL wins
+        assert improvements[0.02] < improvements[None]  # size bites

@@ -15,9 +15,10 @@ from conftest import emit
 SEED = 101
 
 
-def run_figure(environment, fidelity):
+def run_figure(environment, fidelity, jobs=1):
     return figure_response_vs_read_probability(environment,
-                                               fidelity=fidelity, seed=SEED)
+                                               fidelity=fidelity, seed=SEED,
+                                               jobs=jobs)
 
 
 def check_and_emit(report, figure_number, result, environment):
@@ -39,22 +40,22 @@ def check_and_emit(report, figure_number, result, environment):
     return crossover
 
 
-def test_fig05_ss_lan(benchmark, report, fidelity):
+def test_fig05_ss_lan(benchmark, report, fidelity, jobs):
     result = benchmark.pedantic(
-        run_figure, args=(NetworkEnvironment.SS_LAN, fidelity),
+        run_figure, args=(NetworkEnvironment.SS_LAN, fidelity, jobs),
         rounds=1, iterations=1)
     check_and_emit(report, 5, result, "ss-LAN")
 
 
-def test_fig06_man(benchmark, report, fidelity):
+def test_fig06_man(benchmark, report, fidelity, jobs):
     result = benchmark.pedantic(
-        run_figure, args=(NetworkEnvironment.MAN, fidelity),
+        run_figure, args=(NetworkEnvironment.MAN, fidelity, jobs),
         rounds=1, iterations=1)
     check_and_emit(report, 6, result, "MAN")
 
 
-def test_fig07_l_wan(benchmark, report, fidelity):
+def test_fig07_l_wan(benchmark, report, fidelity, jobs):
     result = benchmark.pedantic(
-        run_figure, args=(NetworkEnvironment.L_WAN, fidelity),
+        run_figure, args=(NetworkEnvironment.L_WAN, fidelity, jobs),
         rounds=1, iterations=1)
     check_and_emit(report, 7, result, "l-WAN")

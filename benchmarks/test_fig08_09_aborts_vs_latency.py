@@ -19,10 +19,11 @@ from conftest import emit
 SEED = 101
 
 
-def test_fig09_pr08(benchmark, report, fidelity):
+def test_fig09_pr08(benchmark, report, fidelity, jobs):
     results = benchmark.pedantic(
         latency_sweep_experiment,
-        kwargs=dict(read_probability=0.8, fidelity=fidelity, seed=SEED),
+        kwargs=dict(read_probability=0.8, fidelity=fidelity, seed=SEED,
+                    jobs=jobs),
         rounds=1, iterations=1)
     aborts = results["aborts"]
     emit(report,

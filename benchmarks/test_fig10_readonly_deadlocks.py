@@ -17,10 +17,10 @@ from conftest import emit
 SEED = 101
 
 
-def test_fig10_readonly_aborts(benchmark, report, fidelity):
+def test_fig10_readonly_aborts(benchmark, report, fidelity, jobs):
     result = benchmark.pedantic(
         figure_readonly_aborts_vs_latency,
-        kwargs=dict(fidelity=fidelity, seed=SEED),
+        kwargs=dict(fidelity=fidelity, seed=SEED, jobs=jobs),
         rounds=1, iterations=1)
     emit(report,
          "Figure 10 " + "=" * 50,

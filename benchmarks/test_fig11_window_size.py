@@ -16,10 +16,10 @@ from conftest import emit
 SEED = 101
 
 
-def test_fig11_aborts_vs_fl_length(benchmark, report, fidelity):
+def test_fig11_aborts_vs_fl_length(benchmark, report, fidelity, jobs):
     result = benchmark.pedantic(
         figure_aborts_vs_fl_length,
-        kwargs=dict(fidelity=fidelity, seed=SEED),
+        kwargs=dict(fidelity=fidelity, seed=SEED, jobs=jobs),
         rounds=1, iterations=1)
     emit(report,
          "Figure 11 " + "=" * 50,

@@ -30,10 +30,11 @@ def _emit_pair(report, fig_resp, fig_ab, results, pr):
     return response, aborts
 
 
-def test_fig12_13_pr025(benchmark, report, fidelity):
+def test_fig12_13_pr025(benchmark, report, fidelity, jobs):
     results = benchmark.pedantic(
         clients_sweep_experiment,
-        kwargs=dict(read_probability=0.25, fidelity=fidelity, seed=SEED),
+        kwargs=dict(read_probability=0.25, fidelity=fidelity, seed=SEED,
+                    jobs=jobs),
         rounds=1, iterations=1)
     response, aborts = _emit_pair(report, 12, 13, results, 0.25)
     # g-2PL response at or below s-2PL at high load.
@@ -44,10 +45,11 @@ def test_fig12_13_pr025(benchmark, report, fidelity):
             >= aborts.series["g2pl"].y_at(150) - 3.0)
 
 
-def test_fig14_15_pr075(benchmark, report, fidelity):
+def test_fig14_15_pr075(benchmark, report, fidelity, jobs):
     results = benchmark.pedantic(
         clients_sweep_experiment,
-        kwargs=dict(read_probability=0.75, fidelity=fidelity, seed=SEED),
+        kwargs=dict(read_probability=0.75, fidelity=fidelity, seed=SEED,
+                    jobs=jobs),
         rounds=1, iterations=1)
     response, aborts = _emit_pair(report, 14, 15, results, 0.75)
     # Paper: g-2PL outperforms s-2PL at high load (the margin is thinner

@@ -24,6 +24,13 @@ Quickstart::
 """
 
 from repro.core.config import Fidelity, SimulationConfig
+from repro.core.parallel import (
+    CellError,
+    SimulationCell,
+    replication_seed,
+    resolve_jobs,
+    run_cells,
+)
 from repro.core.runner import (
     ReplicatedResult,
     SimulationResult,
@@ -39,15 +46,20 @@ from repro.protocols.registry import available_protocols
 __version__ = "1.0.0"
 
 __all__ = [
+    "CellError",
     "Fidelity",
     "NetworkEnvironment",
     "ReplicatedResult",
+    "SimulationCell",
     "SimulationConfig",
     "SimulationResult",
     "TABLE2_ENVIRONMENTS",
     "available_protocols",
     "compare_protocols",
     "improvement_percentage",
+    "replication_seed",
+    "resolve_jobs",
+    "run_cells",
     "run_replications",
     "run_simulation",
     "run_worked_example",

@@ -17,11 +17,13 @@ def _block(title, body):
 
 
 def generate_report(fidelity="bench", seed=101, include_plots=True,
-                    quick=False):
+                    quick=False, jobs=1):
     """Run the full figure suite; returns a markdown string.
 
     ``quick`` shrinks every sweep to its endpoints (for tests and smoke
-    checks of the reporting pipeline itself).
+    checks of the reporting pipeline itself).  ``jobs>1`` fans each
+    sweep's simulation cells out over a process pool; the report is
+    bit-identical to a serial run for the same seed.
     """
     latencies = (1.0, 750.0) if quick else None
     read_probabilities = (0.0, 1.0) if quick else None
@@ -52,7 +54,8 @@ def generate_report(fidelity="bench", seed=101, include_plots=True,
 
     for pr in (0.0, 0.6, 1.0):
         results = exp.latency_sweep_experiment(
-            pr, fidelity=fidelity, seed=seed, **kw(latencies=latencies))
+            pr, fidelity=fidelity, seed=seed, jobs=jobs,
+            **kw(latencies=latencies))
         figure = {0.0: 2, 0.6: 3, 1.0: 4}[pr]
         sections.append(_block(
             f"Figure {figure} — response vs latency (pr={pr:g})",
@@ -66,7 +69,7 @@ def generate_report(fidelity="bench", seed=101, include_plots=True,
                         (6, NetworkEnvironment.MAN),
                         (7, NetworkEnvironment.L_WAN)):
         result = exp.figure_response_vs_read_probability(
-            env, fidelity=fidelity, seed=seed,
+            env, fidelity=fidelity, seed=seed, jobs=jobs,
             **kw(read_probabilities=read_probabilities))
         crossover = find_crossover(result)
         body = render(result)
@@ -77,6 +80,7 @@ def generate_report(fidelity="bench", seed=101, include_plots=True,
             f"({env.name})", body))
 
     result = exp.figure_aborts_vs_latency(0.8, fidelity=fidelity, seed=seed,
+                                          jobs=jobs,
                                           **kw(latencies=latencies))
     sections.append(_block("Figure 9 — aborts vs latency (pr=0.8)",
                            render(result, improvement=False)))
@@ -84,18 +88,19 @@ def generate_report(fidelity="bench", seed=101, include_plots=True,
     sections.append(_block(
         "Figure 10 — read-only deadlocks vs latency",
         render(exp.figure_readonly_aborts_vs_latency(fidelity=fidelity,
-                                                     seed=seed),
+                                                     seed=seed, jobs=jobs),
                improvement=False)))
     sections.append(_block(
         "Figure 11 — aborts vs forward-list length",
         render(exp.figure_aborts_vs_fl_length(
-                   fidelity=fidelity, seed=seed,
+                   fidelity=fidelity, seed=seed, jobs=jobs,
                    **kw(lengths=(1, 8) if quick else None)),
                improvement=False)))
 
     for pr, (fig_resp, fig_ab) in ((0.25, (12, 13)), (0.75, (14, 15))):
         results = exp.clients_sweep_experiment(
-            pr, fidelity=fidelity, seed=seed, **kw(client_counts=clients))
+            pr, fidelity=fidelity, seed=seed, jobs=jobs,
+            **kw(client_counts=clients))
         sections.append(_block(
             f"Figure {fig_resp} — response vs clients (pr={pr:g})",
             render(results["response"])))

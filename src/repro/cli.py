@@ -33,6 +33,21 @@ def _add_workload_args(parser):
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _jobs_type(value):
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, or 0 for all CPUs (got {jobs})")
+    return jobs
+
+
+def _add_jobs_arg(parser):
+    parser.add_argument(
+        "--jobs", type=_jobs_type, default=1, metavar="N",
+        help="parallel worker processes (0 = all CPUs; results are "
+             "bit-identical to --jobs 1 for the same seed)")
+
+
 def _config_from(args, protocol):
     return SimulationConfig(
         protocol=protocol, n_clients=args.clients, n_items=args.items,
@@ -43,6 +58,9 @@ def _config_from(args, protocol):
 
 
 def _cmd_run(args):
+    if getattr(args, "jobs", 1) not in (None, 1):
+        print("note: a single simulation always runs serially; "
+              "--jobs applies to compare/figure sweeps", file=sys.stderr)
     result = run_simulation(_config_from(args, args.protocol))
     print(result.summary())
     print(f"  duration: {result.duration:,.0f} time units, "
@@ -55,7 +73,8 @@ def _cmd_run(args):
 def _cmd_compare(args):
     config = _config_from(args, "g2pl")
     results = compare_protocols(config, tuple(args.protocols),
-                                replications=args.replications)
+                                replications=args.replications,
+                                jobs=args.jobs)
     for name, result in results.items():
         print(f"  {name:10} {result.summary()}")
     if "s2pl" in results and "g2pl" in results:
@@ -74,6 +93,7 @@ def _cmd_figure(args):
 
     fidelity = Fidelity[args.fidelity.upper()]
     number = args.number
+    jobs = args.jobs
 
     def show(result, improvement=("s2pl", "g2pl")):
         kwargs = {}
@@ -87,24 +107,28 @@ def _cmd_figure(args):
         print(run_worked_example())
     elif number in ("2", "3", "4"):
         pr = {"2": 0.0, "3": 0.6, "4": 1.0}[number]
-        show(exp.figure_response_vs_latency(pr, fidelity=fidelity))
+        show(exp.figure_response_vs_latency(pr, fidelity=fidelity,
+                                            jobs=jobs))
     elif number in ("5", "6", "7"):
         env = {"5": NetworkEnvironment.SS_LAN, "6": NetworkEnvironment.MAN,
                "7": NetworkEnvironment.L_WAN}[number]
-        show(exp.figure_response_vs_read_probability(env, fidelity=fidelity))
+        show(exp.figure_response_vs_read_probability(env, fidelity=fidelity,
+                                                     jobs=jobs))
     elif number in ("8", "9"):
         pr = {"8": 0.6, "9": 0.8}[number]
-        show(exp.figure_aborts_vs_latency(pr, fidelity=fidelity))
+        show(exp.figure_aborts_vs_latency(pr, fidelity=fidelity, jobs=jobs))
     elif number == "10":
-        show(exp.figure_readonly_aborts_vs_latency(fidelity=fidelity),
+        show(exp.figure_readonly_aborts_vs_latency(fidelity=fidelity,
+                                                   jobs=jobs),
              improvement=None)
     elif number == "11":
-        show(exp.figure_aborts_vs_fl_length(fidelity=fidelity),
+        show(exp.figure_aborts_vs_fl_length(fidelity=fidelity, jobs=jobs),
              improvement=None)
     elif number in ("12", "13", "14", "15"):
         pr = 0.25 if number in ("12", "13") else 0.75
         metric = "response" if number in ("12", "14") else "aborts"
-        show(exp.figure_vs_clients(pr, metric, fidelity=fidelity))
+        show(exp.figure_vs_clients(pr, metric, fidelity=fidelity,
+                                   jobs=jobs))
     else:
         print(f"unknown figure {number!r}; choose 1-15", file=sys.stderr)
         return 2
@@ -131,6 +155,7 @@ def build_parser():
     run_parser.add_argument("--protocol", default="g2pl",
                             choices=available_protocols())
     _add_workload_args(run_parser)
+    _add_jobs_arg(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser("compare",
@@ -140,6 +165,7 @@ def build_parser():
                                 choices=available_protocols())
     compare_parser.add_argument("--replications", type=int, default=2)
     _add_workload_args(compare_parser)
+    _add_jobs_arg(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
 
     figure_parser = sub.add_parser("figure",
@@ -147,6 +173,7 @@ def build_parser():
     figure_parser.add_argument("number", help="figure number, 1-15")
     figure_parser.add_argument("--fidelity", default="bench",
                                choices=[f.label for f in Fidelity])
+    _add_jobs_arg(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     list_parser = sub.add_parser("list", help="list protocols and figures")

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.config import Fidelity, SimulationConfig
-from repro.core.runner import run_replications
+from repro.core.parallel import run_cells
+from repro.core.runner import aggregate_runs, replication_cells
 from repro.network.presets import LATENCY_SWEEP, TABLE2_ENVIRONMENTS
 
 #: Read probabilities swept in Figures 5-7.
@@ -82,7 +83,8 @@ def _base_config(fidelity, **overrides):
 
 
 def sweep_both(experiment_ids, titles, x_label, base_config, replications,
-               xs, configure, protocols=("s2pl", "g2pl"), seed=1):
+               xs, configure, protocols=("s2pl", "g2pl"), seed=1, jobs=1,
+               progress=None):
     """Generic experiment driver, collecting both paper metrics per run.
 
     ``configure(config, x)`` returns the config for one x-axis point.
@@ -91,6 +93,11 @@ def sweep_both(experiment_ids, titles, x_label, base_config, replications,
     and percentage of transactions aborted are two views of one sweep).
     Identical seeds per replication index across protocols (common random
     numbers).
+
+    ``jobs>1`` fans out the full protocols x points x replications
+    cross-product over a process pool; the series are bit-identical to
+    the serial sweep for the same ``seed``.  ``progress(done, total)``
+    reports completed simulation cells.
     """
     results = {
         "response": ExperimentResult(
@@ -102,25 +109,33 @@ def sweep_both(experiment_ids, titles, x_label, base_config, replications,
             title=titles.get("aborts", ""), x_label=x_label,
             y_label="% transactions aborted"),
     }
+    points = []
+    cells = []
     for protocol in protocols:
         for x in xs:
             config = configure(base_config.replace(protocol=protocol), x)
-            replicated = run_replications(config, replications=replications,
-                                          base_seed=seed)
-            results["response"].series_for(protocol).add(
-                x, replicated.response_time)
-            results["aborts"].series_for(protocol).add(
-                x, replicated.abort_percentage)
+            points.append((protocol, x, config))
+            cells.extend(replication_cells(config, replications,
+                                           base_seed=seed))
+    runs = run_cells(cells, jobs=jobs, progress=progress)
+    for index, (protocol, x, config) in enumerate(points):
+        chunk = runs[index * replications:(index + 1) * replications]
+        replicated = aggregate_runs(config, chunk)
+        results["response"].series_for(protocol).add(
+            x, replicated.response_time)
+        results["aborts"].series_for(protocol).add(
+            x, replicated.abort_percentage)
     return results
 
 
 def sweep(experiment_id, title, x_label, y_label, base_config, replications,
           xs, configure, protocols=("s2pl", "g2pl"), metric="response",
-          seed=1):
+          seed=1, jobs=1, progress=None):
     """Single-metric convenience wrapper over :func:`sweep_both`."""
     results = sweep_both({metric: experiment_id}, {metric: title}, x_label,
                          base_config, replications, xs, configure,
-                         protocols=protocols, seed=seed)
+                         protocols=protocols, seed=seed, jobs=jobs,
+                         progress=progress)
     result = results[metric]
     result.y_label = y_label
     return result
@@ -131,7 +146,7 @@ def sweep(experiment_id, title, x_label, y_label, base_config, replications,
 # ---------------------------------------------------------------------------
 
 def latency_sweep_experiment(read_probability, fidelity=Fidelity.BENCH,
-                             seed=1, latencies=LATENCY_SWEEP):
+                             seed=1, latencies=LATENCY_SWEEP, jobs=1):
     """One latency sweep, yielding both metrics.
 
     The response view is Figure 2/3/4 (pr = 0.0/0.6/1.0); the abort view
@@ -155,13 +170,13 @@ def latency_sweep_experiment(read_probability, fidelity=Fidelity.BENCH,
         x_label="network latency",
         base_config=base, replications=replications, xs=latencies,
         configure=lambda cfg, x: cfg.replace(network_latency=x),
-        seed=seed)
+        seed=seed, jobs=jobs)
 
 
 def figure_response_vs_latency(read_probability, fidelity=Fidelity.BENCH,
-                               seed=1, latencies=LATENCY_SWEEP):
+                               seed=1, latencies=LATENCY_SWEEP, jobs=1):
     return latency_sweep_experiment(read_probability, fidelity, seed,
-                                    latencies)["response"]
+                                    latencies, jobs=jobs)["response"]
 
 
 # ---------------------------------------------------------------------------
@@ -170,7 +185,8 @@ def figure_response_vs_latency(read_probability, fidelity=Fidelity.BENCH,
 
 def figure_response_vs_read_probability(environment, fidelity=Fidelity.BENCH,
                                         seed=1,
-                                        read_probabilities=READ_PROBABILITY_SWEEP):
+                                        read_probabilities=READ_PROBABILITY_SWEEP,
+                                        jobs=1):
     figure = {"SS_LAN": "5", "MAN": "6", "L_WAN": "7"}.get(
         environment.name, "5-7")
     base, replications = _base_config(
@@ -183,7 +199,7 @@ def figure_response_vs_read_probability(environment, fidelity=Fidelity.BENCH,
         base_config=base, replications=replications,
         xs=read_probabilities,
         configure=lambda cfg, x: cfg.replace(read_probability=x),
-        seed=seed)
+        seed=seed, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -191,9 +207,9 @@ def figure_response_vs_read_probability(environment, fidelity=Fidelity.BENCH,
 # ---------------------------------------------------------------------------
 
 def figure_aborts_vs_latency(read_probability, fidelity=Fidelity.BENCH,
-                             seed=1, latencies=LATENCY_SWEEP):
+                             seed=1, latencies=LATENCY_SWEEP, jobs=1):
     return latency_sweep_experiment(read_probability, fidelity, seed,
-                                    latencies)["aborts"]
+                                    latencies, jobs=jobs)["aborts"]
 
 
 # ---------------------------------------------------------------------------
@@ -202,7 +218,7 @@ def figure_aborts_vs_latency(read_probability, fidelity=Fidelity.BENCH,
 
 def figure_readonly_aborts_vs_latency(fidelity=Fidelity.BENCH, seed=1,
                                       latencies=(1, 2, 3, 5, 7, 10, 25, 100),
-                                      n_clients=5):
+                                      n_clients=5, jobs=1):
     """Read-only system: aborts are exactly the read-deadlocks of §3.3.
 
     The paper's caption does not pin the client count for this figure; the
@@ -219,7 +235,8 @@ def figure_readonly_aborts_vs_latency(fidelity=Fidelity.BENCH, seed=1,
         x_label="network latency", y_label="% transactions aborted",
         base_config=base, replications=replications, xs=latencies,
         configure=lambda cfg, x: cfg.replace(network_latency=float(x)),
-        protocols=("g2pl", "g2pl-ro"), metric="aborts", seed=seed)
+        protocols=("g2pl", "g2pl-ro"), metric="aborts", seed=seed,
+        jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -228,7 +245,7 @@ def figure_readonly_aborts_vs_latency(fidelity=Fidelity.BENCH, seed=1,
 
 def figure_aborts_vs_fl_length(fidelity=Fidelity.BENCH, seed=1,
                                lengths=(1, 2, 3, 4, 5, 6, 8, 10),
-                               n_clients=50):
+                               n_clients=50, jobs=1):
     base, replications = _base_config(fidelity, read_probability=1.0,
                                       n_clients=n_clients,
                                       network_latency=1.0)
@@ -239,7 +256,7 @@ def figure_aborts_vs_fl_length(fidelity=Fidelity.BENCH, seed=1,
         x_label="forward list length", y_label="% transactions aborted",
         base_config=base, replications=replications, xs=lengths,
         configure=lambda cfg, x: cfg.replace(max_forward_list_length=x),
-        protocols=("g2pl",), metric="aborts", seed=seed)
+        protocols=("g2pl",), metric="aborts", seed=seed, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -247,7 +264,7 @@ def figure_aborts_vs_fl_length(fidelity=Fidelity.BENCH, seed=1,
 # ---------------------------------------------------------------------------
 
 def clients_sweep_experiment(read_probability, fidelity=Fidelity.BENCH,
-                             seed=1, client_counts=CLIENT_SWEEP):
+                             seed=1, client_counts=CLIENT_SWEEP, jobs=1):
     """One client-count sweep, yielding both metrics.
 
     pr=0.25 gives Figures 12 (response) and 13 (aborts); pr=0.75 gives
@@ -267,13 +284,13 @@ def clients_sweep_experiment(read_probability, fidelity=Fidelity.BENCH,
         x_label="number of clients",
         base_config=base, replications=replications, xs=client_counts,
         configure=lambda cfg, x: cfg.replace(n_clients=x),
-        seed=seed)
+        seed=seed, jobs=jobs)
 
 
 def figure_vs_clients(read_probability, metric, fidelity=Fidelity.BENCH,
-                      seed=1, client_counts=CLIENT_SWEEP):
+                      seed=1, client_counts=CLIENT_SWEEP, jobs=1):
     return clients_sweep_experiment(read_probability, fidelity, seed,
-                                    client_counts)[metric]
+                                    client_counts, jobs=jobs)[metric]
 
 
 # ---------------------------------------------------------------------------

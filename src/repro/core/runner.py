@@ -1,7 +1,9 @@
 """Assemble and run simulations; replicate; compare protocols."""
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.core.parallel import SimulationCell, replication_seed, run_cells
 from repro.network.topology import UniformTopology
 from repro.network.transport import Network
 from repro.protocols.registry import make_protocol
@@ -29,8 +31,8 @@ class SimulationResult:
     duration: float               # simulation time at run end
     messages_sent: int
     data_units_sent: float
-    serializability: object = None  # SerializabilityReport or None
-    server_stats: dict = None
+    serializability: Optional[object] = None  # SerializabilityReport
+    server_stats: dict = field(default_factory=dict)
 
     @property
     def mean_response_time(self):
@@ -154,18 +156,8 @@ class ReplicatedResult:
                 f"aborts={self.abort_percentage}%")
 
 
-def run_replications(config, replications=3, base_seed=None,
-                     check_serializability=None):
-    """Run independent replications (distinct seeds) and aggregate."""
-    if replications < 1:
-        raise ValueError("need at least one replication")
-    if base_seed is None:
-        base_seed = config.seed
-    runs = [
-        run_simulation(config, seed=base_seed + 7919 * index,
-                       check_serializability=check_serializability)
-        for index in range(replications)
-    ]
+def aggregate_runs(config, runs):
+    """Fold per-run results into a :class:`ReplicatedResult`."""
     return ReplicatedResult(
         config=config,
         runs=runs,
@@ -176,16 +168,52 @@ def run_replications(config, replications=3, base_seed=None,
     )
 
 
+def replication_cells(config, replications, base_seed=None,
+                      check_serializability=None):
+    """The simulation cells of one replicated run (serial seed scheme)."""
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if base_seed is None:
+        base_seed = config.seed
+    return [
+        SimulationCell(config, replication_seed(base_seed, index),
+                       check_serializability)
+        for index in range(replications)
+    ]
+
+
+def run_replications(config, replications=3, base_seed=None,
+                     check_serializability=None, jobs=1):
+    """Run independent replications (distinct seeds) and aggregate.
+
+    ``jobs>1`` fans the replications out over a process pool; results
+    are bit-identical to the serial run for the same ``base_seed``.
+    """
+    cells = replication_cells(config, replications, base_seed,
+                              check_serializability)
+    return aggregate_runs(config, run_cells(cells, jobs=jobs))
+
+
 def compare_protocols(config, protocols=("s2pl", "g2pl"), replications=3,
-                      base_seed=None):
+                      base_seed=None, jobs=1):
     """Run the same workload under several protocols (common random
     numbers: identical seeds per replication index) and return
-    ``{protocol: ReplicatedResult}``."""
-    results = {}
+    ``{protocol: ReplicatedResult}``.
+
+    ``jobs>1`` fans out across the full protocols x replications
+    cross-product, not one protocol at a time.
+    """
+    configs = {protocol: config.replace(protocol=protocol)
+               for protocol in protocols}
+    cells = []
     for protocol in protocols:
-        results[protocol] = run_replications(
-            config.replace(protocol=protocol), replications=replications,
-            base_seed=base_seed)
+        cells.extend(replication_cells(configs[protocol], replications,
+                                       base_seed))
+    runs = run_cells(cells, jobs=jobs)
+    results = {}
+    for position, protocol in enumerate(protocols):
+        chunk = runs[position * replications:(position + 1) * replications]
+        results[protocol] = aggregate_runs(configs[protocol], chunk)
     return results
 
 

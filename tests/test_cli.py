@@ -31,6 +31,38 @@ def test_compare(capsys):
     assert "improvement over s-2PL" in out
 
 
+def test_compare_with_jobs(capsys):
+    code = main(["compare", "--clients", "6", "--items", "8",
+                 "--transactions", "100", "--warmup", "10",
+                 "--latency", "20", "--replications", "2", "--jobs", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "improvement over s-2PL" in out
+
+
+def test_run_with_jobs_notes_serial(capsys):
+    code = main(["run", "--protocol", "s2pl", "--clients", "5",
+                 "--items", "8", "--transactions", "100",
+                 "--warmup", "10", "--latency", "20", "--jobs", "4"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "s2pl: response=" in captured.out
+    assert "runs serially" in captured.err
+
+
+def test_figure_with_jobs(capsys):
+    code = main(["figure", "11", "--fidelity", "smoke", "--jobs", "2"])
+    assert code == 0
+    assert "forward" in capsys.readouterr().out.lower()
+
+
+def test_jobs_defaults_to_serial():
+    args = build_parser().parse_args(["compare"])
+    assert args.jobs == 1
+    args = build_parser().parse_args(["figure", "3", "--jobs", "0"])
+    assert args.jobs == 0  # 0 = all CPUs, resolved by the engine
+
+
 def test_figure_1(capsys):
     assert main(["figure", "1"]) == 0
     assert "Figure 1" in capsys.readouterr().out

@@ -16,6 +16,31 @@ from repro.core.experiments import (
 from repro.network.presets import NetworkEnvironment
 
 
+def test_sweep_parallel_bit_identical_to_serial():
+    serial = latency_sweep_experiment(0.6, fidelity="smoke",
+                                      latencies=(1.0, 250.0), jobs=1)
+    parallel = latency_sweep_experiment(0.6, fidelity="smoke",
+                                        latencies=(1.0, 250.0), jobs=2)
+    for metric in ("response", "aborts"):
+        assert set(serial[metric].series) == set(parallel[metric].series)
+        for name in serial[metric].series:
+            a = serial[metric].series[name]
+            b = parallel[metric].series[name]
+            assert a.xs == b.xs
+            assert a.ys == b.ys
+            assert a.half_widths == b.half_widths
+
+
+def test_single_protocol_sweep_supports_jobs():
+    serial = figure_aborts_vs_fl_length(fidelity="smoke", lengths=(1, 8),
+                                        n_clients=20, jobs=1)
+    parallel = figure_aborts_vs_fl_length(fidelity="smoke", lengths=(1, 8),
+                                          n_clients=20, jobs=2)
+    assert serial.series["g2pl"].ys == parallel.series["g2pl"].ys
+    assert (serial.series["g2pl"].half_widths
+            == parallel.series["g2pl"].half_widths)
+
+
 def test_latency_sweep_produces_both_metrics():
     results = latency_sweep_experiment(0.6, fidelity="smoke",
                                        latencies=(1.0, 250.0))

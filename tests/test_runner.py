@@ -5,6 +5,7 @@ import pytest
 from repro import (
     Fidelity,
     SimulationConfig,
+    SimulationResult,
     available_protocols,
     compare_protocols,
     improvement_percentage,
@@ -96,6 +97,21 @@ class TestRunSimulation:
     def test_summary_renders(self):
         result = run_simulation(smoke_config())
         assert "response=" in result.summary()
+
+    def test_default_result_has_iterable_server_stats(self):
+        # Regression: server_stats defaulted to None (a shared mutable
+        # default is illegal anyway), so iterating a bare result crashed.
+        result = SimulationResult(config=None, seed=0, metrics=None,
+                                  duration=0.0, messages_sent=0,
+                                  data_units_sent=0.0)
+        assert result.server_stats == {}
+        assert list(result.server_stats.items()) == []
+        assert result.serializability is None
+        other = SimulationResult(config=None, seed=1, metrics=None,
+                                 duration=0.0, messages_sent=0,
+                                 data_units_sent=0.0)
+        other.server_stats["aborts_initiated"] = 3
+        assert result.server_stats == {}  # no shared default dict
 
 
 class TestReplications:
