@@ -31,6 +31,11 @@ def _add_workload_args(parser):
     parser.add_argument("--transactions", type=int, default=1000)
     parser.add_argument("--warmup", type=int, default=100)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec, e.g. "
+             "'loss=0.05,dup=0.01,jitter=50,crash=3@10000:20000' "
+             "(see repro.network.faults.FaultSpec.parse)")
 
 
 def _jobs_type(value):
@@ -54,6 +59,7 @@ def _config_from(args, protocol):
         read_probability=args.pr, network_latency=args.latency,
         total_transactions=args.transactions,
         warmup_transactions=args.warmup, seed=args.seed,
+        faults=getattr(args, "faults", None),
         record_history=False)
 
 
@@ -129,8 +135,12 @@ def _cmd_figure(args):
         metric = "response" if number in ("12", "14") else "aborts"
         show(exp.figure_vs_clients(pr, metric, fidelity=fidelity,
                                    jobs=jobs))
+    elif number in ("loss", "loss-aborts"):
+        metric = "aborts" if number == "loss-aborts" else "response"
+        show(exp.figure_loss_sweep(metric, fidelity=fidelity, jobs=jobs))
     else:
-        print(f"unknown figure {number!r}; choose 1-15", file=sys.stderr)
+        print(f"unknown figure {number!r}; choose 1-15, loss, or "
+              f"loss-aborts", file=sys.stderr)
         return 2
     return 0
 
@@ -140,7 +150,8 @@ def _cmd_list(_args):
     print("figures: 1 (worked example), 2-4 (response vs latency), "
           "5-7 (response vs read probability), 8-9 (aborts vs latency), "
           "10 (read-only deadlocks), 11 (forward-list length), "
-          "12-15 (client scalability)")
+          "12-15 (client scalability), loss / loss-aborts "
+          "(fault injection: metrics vs message-loss probability)")
     print("fidelities:", ", ".join(f.label for f in Fidelity))
     return 0
 
@@ -170,7 +181,8 @@ def build_parser():
 
     figure_parser = sub.add_parser("figure",
                                    help="regenerate a paper figure")
-    figure_parser.add_argument("number", help="figure number, 1-15")
+    figure_parser.add_argument("number",
+                               help="figure number 1-15, or loss / loss-aborts")
     figure_parser.add_argument("--fidelity", default="bench",
                                choices=[f.label for f in Fidelity])
     _add_jobs_arg(figure_parser)

@@ -70,6 +70,10 @@ class SimulationConfig:
     # c-2PL options
     cache_capacity: Optional[int] = None  # None = unbounded client cache
 
+    # fault injection: a FaultSpec, a spec string for FaultSpec.parse
+    # ("loss=0.05,crash=3@10000:20000"), or None for a perfect network
+    faults: Optional[object] = None
+
     # run control
     total_transactions: int = 1500
     warmup_transactions: int = 150
@@ -77,6 +81,10 @@ class SimulationConfig:
     record_history: bool = True
 
     def __post_init__(self):
+        if self.faults is not None:
+            from repro.network.faults import FaultSpec
+
+            self.faults = FaultSpec.parse(self.faults)
         if self.n_clients < 1:
             raise ValueError("need at least one client")
         if self.n_items < 1:

@@ -27,6 +27,10 @@ READ_PROBABILITY_SWEEP = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
 #: Client counts swept in Figures 12-15 (the paper plots 0-150).
 CLIENT_SWEEP = (10, 25, 50, 75, 100, 150)
 
+#: Message-loss probabilities swept in the fault-injection experiment
+#: (not in the paper, which assumes a reliable network).
+LOSS_SWEEP = (0.0, 0.005, 0.01, 0.02, 0.05)
+
 
 @dataclass
 class ExperimentSeries:
@@ -291,6 +295,42 @@ def figure_vs_clients(read_probability, metric, fidelity=Fidelity.BENCH,
                       seed=1, client_counts=CLIENT_SWEEP, jobs=1):
     return clients_sweep_experiment(read_probability, fidelity, seed,
                                     client_counts, jobs=jobs)[metric]
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: response time / abort rate vs message-loss probability
+# ---------------------------------------------------------------------------
+
+def loss_sweep_experiment(fidelity=Fidelity.BENCH, seed=1,
+                          losses=LOSS_SWEEP, read_probability=0.6, jobs=1):
+    """Both metrics against per-link message-loss probability.
+
+    The paper assumes a perfect network; this extension quantifies how the
+    two protocols degrade when messages are dropped and must be recovered
+    by timeout/retransmission — g-2PL's longer dependency chains mean one
+    lost handoff stalls more transactions than one lost lock grant.
+    """
+    from repro.network.faults import FaultSpec
+
+    base, replications = _base_config(fidelity,
+                                      read_probability=read_probability)
+    suffix = (f"vs message-loss probability, pr={read_probability:g}, "
+              f"s-WAN (latency 500), 25 hot items")
+    return sweep_both(
+        experiment_ids={"response": "loss-response", "aborts": "loss-aborts"},
+        titles={"response": f"Mean response time {suffix}",
+                "aborts": f"Percentage of transactions aborted {suffix}"},
+        x_label="message-loss probability",
+        base_config=base, replications=replications, xs=losses,
+        configure=lambda cfg, x: cfg.replace(
+            faults=FaultSpec(message_loss=x) if x else None),
+        seed=seed, jobs=jobs)
+
+
+def figure_loss_sweep(metric="response", fidelity=Fidelity.BENCH, seed=1,
+                      losses=LOSS_SWEEP, jobs=1):
+    return loss_sweep_experiment(fidelity=fidelity, seed=seed,
+                                 losses=losses, jobs=jobs)[metric]
 
 
 # ---------------------------------------------------------------------------

@@ -4,6 +4,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.parallel import SimulationCell, replication_seed, run_cells
+from repro.network.faults import FaultInjector, derive_recovery_times
+from repro.network.reliable import ReliableLink
 from repro.network.topology import UniformTopology
 from repro.network.transport import Network
 from repro.protocols.registry import make_protocol
@@ -19,6 +21,12 @@ from repro.validate.serializability import check_history
 from repro.validate.strictness import check_strictness
 from repro.workload.driver import ClientDriver, RunControl
 from repro.workload.generator import WorkloadGenerator
+
+#: protocols whose recovery machinery tolerates client crashes (the others
+#: still work under message loss / duplication / jitter / partitions, which
+#: the reliable channel masks, but have no story for a dead site)
+CRASH_CAPABLE_PROTOCOLS = frozenset(
+    {"s2pl", "g2pl", "g2pl-basic", "g2pl-ro"})
 
 
 @dataclass
@@ -53,6 +61,49 @@ class SimulationResult:
                 f"messages={self.messages_sent}")
 
 
+def _validate_faults(config, injector):
+    crash_sites = injector.crash_sites()
+    if crash_sites and config.protocol not in CRASH_CAPABLE_PROTOCOLS:
+        raise ValueError(
+            f"protocol {config.protocol!r} has no client-crash recovery; "
+            f"crash faults require one of {sorted(CRASH_CAPABLE_PROTOCOLS)}")
+    unknown = crash_sites - set(range(1, config.n_clients + 1))
+    if unknown:
+        raise ValueError(
+            f"crash faults name unknown client sites {sorted(unknown)}")
+
+
+def _install_fault_layer(sim, config, injector, server, clients, drivers):
+    """Fault-mode wiring: reliable (ack/retransmit) channels on every site,
+    the protocol's recovery timers on the server, and the deterministic
+    crash controller driving the spec's crash windows."""
+    spec = config.faults
+    rto, max_interval, chain_timeout, sweep = derive_recovery_times(
+        spec, config.network_latency)
+    for site in [server, *clients.values()]:
+        site.reliable = ReliableLink(sim, site, rto, backoff=spec.retry_backoff,
+                                     max_interval=max_interval)
+    server.enable_fault_recovery(injector, rto, chain_timeout, sweep)
+    for crash in spec.crashes:
+        client = clients[crash.client_id]
+        driver = drivers[crash.client_id]
+        sim.call_later(crash.at, _crash_site, client, driver)
+        if crash.restart_at is not None:
+            sim.call_later(crash.restart_at, _restart_site, client, driver)
+
+
+def _crash_site(client, driver):
+    # Interrupt the in-flight transactions first (delivery is scheduled, so
+    # their coroutines observe the already-wiped protocol state), then wipe.
+    driver.crash()
+    client.on_crash()
+
+
+def _restart_site(client, driver):
+    client.on_restart()
+    driver.restart()
+
+
 def run_simulation(config, seed=None, check_serializability=None):
     """Run one simulation to ``config.total_transactions`` finished
     transactions and return a :class:`SimulationResult`.
@@ -71,8 +122,12 @@ def run_simulation(config, seed=None, check_serializability=None):
     history = HistoryRecorder(enabled=config.record_history)
     store = VersionedStore(range(config.n_items))
     wal = WriteAheadLog()
+    injector = None
+    if config.faults is not None:
+        injector = FaultInjector(config.faults, streams.spawn("faults"))
+        _validate_faults(config, injector)
     network = Network(sim, UniformTopology(config.network_latency),
-                      bandwidth=config.bandwidth)
+                      bandwidth=config.bandwidth, faults=injector)
     client_ids = list(range(1, config.n_clients + 1))
     server, clients = make_protocol(config.protocol, sim, config, store, wal,
                                     history, client_ids)
@@ -83,9 +138,14 @@ def run_simulation(config, seed=None, check_serializability=None):
     generator = WorkloadGenerator(config.workload_params(), streams)
     control = RunControl(sim, config.total_transactions)
     collector = MetricsCollector(config.warmup_transactions)
+    drivers = {}
     for client_id, client in clients.items():
-        ClientDriver(sim, client_id, client, generator, control,
-                     collector, mpl=config.mpl).start()
+        driver = ClientDriver(sim, client_id, client, generator, control,
+                              collector, mpl=config.mpl)
+        drivers[client_id] = driver
+        driver.start()
+    if injector is not None:
+        _install_fault_layer(sim, config, injector, server, clients, drivers)
 
     try:
         sim.run(until=control.done_event)
@@ -121,6 +181,17 @@ def run_simulation(config, seed=None, check_serializability=None):
             server_stats[attr] = getattr(server, attr)
     if hasattr(server, "mean_fl_length"):
         server_stats["mean_fl_length"] = server.mean_fl_length()
+    if injector is not None:
+        server_stats.update(injector.stats.as_dict())
+        links = [server.reliable] + [c.reliable for c in clients.values()]
+        server_stats["retransmissions"] = sum(
+            link.retransmissions for link in links)
+        server_stats["duplicates_suppressed"] = sum(
+            link.duplicates_suppressed for link in links)
+        for attr in ("crash_reclaims", "chain_repairs", "watchdog_fires",
+                     "crash_aborts"):
+            if hasattr(server, attr):
+                server_stats[attr] = getattr(server, attr)
 
     return SimulationResult(
         config=config,

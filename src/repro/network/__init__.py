@@ -9,21 +9,35 @@ an arbitrary per-pair latency matrix and a finite data rate (so the
 "message size does not matter" assumption can be tested rather than assumed).
 """
 
+from repro.network.faults import (
+    ClientCrash,
+    FaultInjector,
+    FaultSpec,
+    PartitionWindow,
+)
 from repro.network.message import Envelope
 from repro.network.presets import (
     NetworkEnvironment,
     TABLE2_ENVIRONMENTS,
     environment_for_latency,
 )
+from repro.network.reliable import Reliable, ReliableAck, ReliableLink
 from repro.network.topology import MatrixTopology, Site, UniformTopology
 from repro.network.transport import Network, NetworkStats
 
 __all__ = [
+    "ClientCrash",
     "Envelope",
+    "FaultInjector",
+    "FaultSpec",
     "MatrixTopology",
     "Network",
     "NetworkEnvironment",
     "NetworkStats",
+    "PartitionWindow",
+    "Reliable",
+    "ReliableAck",
+    "ReliableLink",
     "Site",
     "TABLE2_ENVIRONMENTS",
     "UniformTopology",

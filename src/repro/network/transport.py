@@ -17,7 +17,11 @@ class NetworkStats:
     def record(self, envelope):
         self.messages_sent += 1
         self.data_units_sent += envelope.size
-        kind = type(envelope.payload).__name__
+        payload = envelope.payload
+        # Reliable-channel wrappers are transparent to the per-type counts:
+        # the protocol mix matters, not the framing.
+        inner = getattr(payload, "inner", None)
+        kind = type(payload if inner is None else inner).__name__
         self.per_type[kind] = self.per_type.get(kind, 0) + 1
 
 
@@ -28,16 +32,23 @@ class Network:
     finite ``bandwidth`` is configured, ``size / bandwidth`` of transmission
     time. The paper assumes infinite bandwidth (transmission negligible at
     gigabit rates); the finite setting exists for the A2 ablation.
+
+    An optional :class:`~repro.network.faults.FaultInjector` makes the link
+    lossy: it may drop, duplicate, or extra-delay each send, and severs
+    messages whose flight interval overlaps a crash window of either
+    endpoint.
     """
 
-    def __init__(self, sim, topology, bandwidth=None):
+    def __init__(self, sim, topology, bandwidth=None, faults=None):
         if bandwidth is not None and bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
         self.sim = sim
         self.topology = topology
         self.bandwidth = bandwidth
+        self.faults = faults
         self.stats = NetworkStats()
         self._sites = {}
+        self._last_deliver = {}  # (src, dst) -> last scheduled delivery time
 
     def add_site(self, site):
         """Register a site; its ``site_id`` must be unique."""
@@ -66,23 +77,55 @@ class Network:
     def send(self, src, dst, payload, size=1.0):
         """Ship ``payload`` from ``src`` to ``dst``; returns the envelope.
 
-        The destination's :meth:`Site.receive` runs after the wire delay.
         Messages between distinct pairs may overtake each other; messages on
-        the same (src, dst) pair are delivered in FIFO order because the
-        delay is pair-constant and the heap breaks timestamp ties in
-        scheduling order.
+        the same (src, dst) pair are always delivered in FIFO order: each
+        computed delivery time (latency + transmission + any fault jitter)
+        is clamped to the link's previous delivery time, serialising the
+        link. Without the clamp a later small message would overtake an
+        earlier large one whenever finite ``bandwidth`` (or jitter) makes
+        the delay size-dependent.
         """
         if dst not in self._sites:
             raise KeyError(f"unknown destination site {dst!r}")
         if src not in self._sites:
             raise KeyError(f"unknown source site {src!r}")
+        now = self.sim.now
         envelope = Envelope(src=src, dst=dst, payload=payload, size=size,
-                            send_time=self.sim.now)
-        envelope.deliver_time = self.sim.now + self.delay(src, dst, size)
+                            send_time=now)
         self.stats.record(envelope)
-        self.sim.call_later(envelope.deliver_time - self.sim.now,
-                            self._deliver, envelope)
+        base_delay = self.delay(src, dst, size)
+        if self.faults is None:
+            envelope.deliver_time = self._schedule_delivery(
+                envelope, now + base_delay)
+            return envelope
+        first = None
+        for extra in self.faults.plan_delays(src, dst, now):
+            deliver = self._fifo_clamp(src, dst, now + base_delay + extra)
+            if self.faults.severed_by_crash(src, dst, now, deliver):
+                self.faults.stats.dropped_crash += 1
+                continue
+            self.faults.stats.delivered += 1
+            deliver = self._schedule_delivery(envelope, deliver)
+            if first is None:
+                first = deliver
+        # A dropped message still reports when it *would* have arrived.
+        envelope.deliver_time = first if first is not None \
+            else now + base_delay
         return envelope
+
+    def _fifo_clamp(self, src, dst, deliver_time):
+        last = self._last_deliver.get((src, dst))
+        if last is not None and last > deliver_time:
+            return last
+        return deliver_time
+
+    def _schedule_delivery(self, envelope, deliver_time):
+        deliver_time = self._fifo_clamp(envelope.src, envelope.dst,
+                                        deliver_time)
+        self._last_deliver[(envelope.src, envelope.dst)] = deliver_time
+        self.sim.call_later(deliver_time - self.sim.now,
+                            self._deliver, envelope)
+        return deliver_time
 
     def _deliver(self, envelope):
         self._sites[envelope.dst].receive(envelope)

@@ -8,11 +8,19 @@ SERVER_SITE_ID = 0
 
 
 class _Dispatcher(Site):
-    """A site that routes payloads to ``on_<PayloadClassName>`` methods."""
+    """A site that routes payloads to ``on_<PayloadClassName>`` methods.
+
+    When a :class:`~repro.network.reliable.ReliableLink` is installed
+    (fault injection), every outgoing protocol message is transparently
+    wrapped for ack/retransmit and every incoming one is unwrapped and
+    deduplicated — the ``on_*`` handlers never see loss or duplication,
+    only (possibly large) delays.
+    """
 
     def __init__(self, site_id):
         super().__init__(site_id)
         self._handlers = {}
+        self.reliable = None  # ReliableLink under fault injection
 
     def _handler_for(self, payload):
         handler = self._handlers.get(type(payload))
@@ -25,8 +33,23 @@ class _Dispatcher(Site):
             self._handlers[type(payload)] = handler
         return handler
 
+    def send(self, dst, payload, size=1.0):
+        if self.reliable is not None:
+            return self.reliable.send(dst, payload, size=size)
+        return super().send(dst, payload, size=size)
+
     def receive(self, envelope):
-        self._handler_for(envelope.payload)(envelope.payload)
+        payload = self._unwrap(envelope)
+        if payload is not None:
+            self._dispatch(payload)
+
+    def _unwrap(self, envelope):
+        if self.reliable is None:
+            return envelope.payload
+        return self.reliable.on_receive(envelope)
+
+    def _dispatch(self, payload):
+        self._handler_for(payload)(payload)
 
 
 class ProtocolServer(_Dispatcher):
@@ -54,16 +77,17 @@ class ProtocolServer(_Dispatcher):
             self.recovery = RecoveryManager(
                 store, wal, checkpoint_interval=config.checkpoint_interval)
 
-    def receive(self, envelope):
+    def _dispatch(self, payload):
+        # Channel bookkeeping (acks, duplicate suppression) was already
+        # handled in receive() and costs no server CPU.
         cost = self.config.server_processing_time
         if cost <= 0.0:
-            self._handler_for(envelope.payload)(envelope.payload)
+            self._handler_for(payload)(payload)
             return
         start = max(self.sim.now, self._cpu_free_at)
         self._cpu_free_at = start + cost
         self.sim.call_later(self._cpu_free_at - self.sim.now,
-                            self._handler_for(envelope.payload),
-                            envelope.payload)
+                            self._handler_for(payload), payload)
 
     def install_updates(self, txn_id, updates):
         """WAL-then-install the committed ``updates`` (item -> value), then
@@ -98,6 +122,16 @@ class ProtocolServer(_Dispatcher):
             size += fl.transfer_size()
         return size
 
+    @property
+    def fault_mode(self):
+        return getattr(self.config, "faults", None) is not None
+
+    def enable_fault_recovery(self, injector, rto, chain_timeout,
+                              sweep_interval):
+        """Install the fault-mode failure detector and recovery timers.
+        The base server has no recovery machinery; protocol servers that
+        support crashed clients override this."""
+
 
 class ProtocolClient(_Dispatcher):
     """Base class for a client site.
@@ -115,10 +149,37 @@ class ProtocolClient(_Dispatcher):
         self.history = history
         #: time from each lock request to its grant (diagnostics)
         self.op_waits = []
+        self.crashed = False
 
     @property
     def server_id(self):
         return SERVER_SITE_ID
+
+    @property
+    def fault_mode(self):
+        return getattr(self.config, "faults", None) is not None
+
+    # -- crash lifecycle (fault injection) -----------------------------------
+
+    def on_crash(self):
+        """Fail-stop: stop retransmitting; volatile protocol state is lost.
+        The transport already drops traffic overlapping the crash window,
+        and the run's crash controller interrupts the live processes."""
+        self.crashed = True
+        if self.reliable is not None:
+            self.reliable.crash()
+        self.reset_protocol_state()
+
+    def on_restart(self):
+        """Come back empty: a restarted site remembers nothing about
+        pre-crash transactions (their recovery is the server's job)."""
+        self.crashed = False
+        if self.reliable is not None:
+            self.reliable.restart()
+        self.reset_protocol_state()
+
+    def reset_protocol_state(self):
+        """Drop all volatile per-transaction state; subclasses override."""
 
     def execute(self, txn):
         raise NotImplementedError

@@ -114,6 +114,13 @@ class ForwardList:
         """Every TxnRef on the list, in entry order."""
         return [ref for entry in self.entries for ref in entry.txns]
 
+    def requests(self):
+        """The ordered (TxnRef, mode) pairs this FL represents — the
+        inverse of :meth:`from_requests`, used by chain repair to rebuild
+        a surviving suffix with the original order preserved."""
+        return [(ref, entry.mode)
+                for entry in self.entries for ref in entry.txns]
+
     def txn_count(self):
         return sum(len(entry.txns) for entry in self.entries)
 

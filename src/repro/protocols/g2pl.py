@@ -47,19 +47,25 @@ from repro.protocols.base import ProtocolClient, ProtocolServer
 from repro.protocols.forward_list import FLEntry, ForwardList, TxnRef
 from repro.protocols.messages import (
     AbortNotice,
+    ChainCommit,
+    ChainCommitAck,
     CONTROL_SIZE,
     GShip,
+    HandoffNote,
     LockRequest,
     ReaderRelease,
+    ReleaseWaiver,
     ReturnToServer,
     TxnDone,
 )
 from repro.protocols.precedence import PrecedenceGraph
+from repro.sim.errors import Interrupt
+from repro.sim.timers import Timer
 
 FL_ORDERINGS = ("fifo", "reads_first", "writes_first")
 
 
-def dispatch_chain(sender, item_id, version, value, fl, mr1w):
+def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
     """Ship ``item_id`` to the first entry of ``fl`` (which starts at that
     entry). Used identically by the server (initial dispatch) and by a
     forwarding client (writer handing the item onward).
@@ -79,21 +85,22 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w):
                         GShip(txn_id=ref.txn_id, item_id=item_id,
                               version=version, value=value,
                               mode=LockMode.READ, fl_tail=fl, group=group,
-                              release_to=release_to),
+                              release_to=release_to, epoch=epoch),
                         size=sender.data_ship_size(fl=fl))
         if next_writer is not None and mr1w:
             sender.send(next_writer.client_id,
                         GShip(txn_id=next_writer.txn_id, item_id=item_id,
                               version=version, value=value,
                               mode=LockMode.WRITE, fl_tail=fl.tail(1),
-                              group=group, await_releases_from=group),
+                              group=group, await_releases_from=group,
+                              epoch=epoch),
                         size=sender.data_ship_size(fl=fl.tail(1)))
     else:
         writer = first.writer
         sender.send(writer.client_id,
                     GShip(txn_id=writer.txn_id, item_id=item_id,
                           version=version, value=value,
-                          mode=LockMode.WRITE, fl_tail=fl),
+                          mode=LockMode.WRITE, fl_tail=fl, epoch=epoch),
                     size=sender.data_ship_size(fl=fl))
 
 
@@ -109,11 +116,21 @@ class _WindowRequest:
 
 
 class _ItemState:
-    """Per-item server bookkeeping."""
+    """Per-item server bookkeeping.
+
+    The fault-injection fields track enough of the dispatched chain to
+    repair it: ``fl`` is the live forward list, ``released`` the members
+    known (via handoff notes / returns) to have passed the item on,
+    ``expected_refs`` the members whose returns are still owed, and
+    ``epoch`` a counter bumped on every repair so stale copies of older
+    dispatches can be told apart from repaired ones.
+    """
 
     __slots__ = ("item_id", "at_server", "window", "chain_live", "chain_all",
                  "chain_has_writer", "expected_returns", "returns_received",
-                 "returned_version", "returned_value")
+                 "returned_version", "returned_value",
+                 "epoch", "fl", "released", "grafted_refs", "expected_refs",
+                 "dispatched_at", "watchdog", "watchdog_attempt")
 
     def __init__(self, item_id):
         self.item_id = item_id
@@ -126,6 +143,15 @@ class _ItemState:
         self.returns_received = 0
         self.returned_version = -1
         self.returned_value = None
+        # fault injection only:
+        self.epoch = 0            # bumped on every chain repair
+        self.fl = None            # ForwardList of the current dispatch
+        self.released = set()     # txn ids known to have passed the item on
+        self.grafted_refs = []    # TxnRefs grafted onto the chain
+        self.expected_refs = set()  # txn ids whose returns are still owed
+        self.dispatched_at = 0.0
+        self.watchdog = None      # Timer guarding against stalled chains
+        self.watchdog_attempt = 0
 
 
 class _TxnEntry:
@@ -152,6 +178,13 @@ class G2PLServer(ProtocolServer):
         self.fl_lengths = []        # txn count per dispatched FL
         self.avoidance_aborts = 0
         self.grafted_reads = 0
+        # fault injection
+        self._committed = set()     # txns whose ChainCommit is registered
+        self._injector = None
+        self._chain_timeout = None
+        self.chain_repairs = 0
+        self.watchdog_fires = 0
+        self.crash_aborts = 0
         if config.fl_ordering not in FL_ORDERINGS:
             raise ValueError(
                 f"unknown fl_ordering {config.fl_ordering!r}; "
@@ -198,32 +231,210 @@ class G2PLServer(ProtocolServer):
 
     def on_ReturnToServer(self, msg):
         info = self._items[msg.item_id]
-        info.returns_received += 1
-        if msg.version > info.returned_version:
-            info.returned_version = msg.version
-            info.returned_value = msg.value
-        if info.returns_received < info.expected_returns:
+        if self.fault_mode:
+            if (info.at_server
+                    or msg.from_txn not in {r.txn_id for r in info.chain_all}):
+                return  # stale return from a chain already repaired home
+            info.released.add(msg.from_txn)
+            info.expected_refs.discard(msg.from_txn)
+            if msg.version > info.returned_version:
+                info.returned_version = msg.version
+                info.returned_value = msg.value
+            if info.expected_refs:
+                return
+        else:
+            info.returns_received += 1
+            if msg.version > info.returned_version:
+                info.returned_version = msg.version
+                info.returned_value = msg.value
+            if info.returns_received < info.expected_returns:
+                return
+        self._item_home(info)
+
+    def on_TxnDone(self, msg):
+        self._retire(msg.txn_id)
+
+    # -- fault recovery --------------------------------------------------------
+
+    def enable_fault_recovery(self, injector, rto, chain_timeout,
+                              sweep_interval):
+        """Install the deterministic failure detector and the stalled-chain
+        watchdog timeout. Crash recovery in g-2PL is chain repair: when a
+        dispatched chain stops making progress, the server aborts crashed
+        members, waives releases the next writers were expecting from dead
+        readers, and re-dispatches the item (from its own store, which in
+        fault mode holds every registered commit) to the surviving suffix
+        under a bumped epoch."""
+        self._injector = injector
+        self._chain_timeout = chain_timeout
+
+    def on_ChainCommit(self, msg):
+        if msg.txn_id in self._dead:
+            return  # repaired away before the registration arrived
+        if msg.txn_id not in self._committed:
+            self._committed.add(msg.txn_id)
+            self.history.record_commit(msg.txn_id, time=msg.commit_time)
+            # Install immediately so a repair re-dispatch can never ship a
+            # version that predates this commit (lost committed write). The
+            # version guard makes the eventual chain return a no-op.
+            for item_id, (version, value) in sorted(msg.writes.items()):
+                if version > self.store.version(item_id):
+                    self._install_returned(item_id, version, value)
+        self.send(msg.client_id, ChainCommitAck(txn_id=msg.txn_id),
+                  size=CONTROL_SIZE)
+
+    def on_HandoffNote(self, msg):
+        info = self._items[msg.item_id]
+        if info.at_server:
             return
-        # The item is home: install the committed state and open the window.
+        if msg.from_txn in {r.txn_id for r in info.chain_all}:
+            info.released.add(msg.from_txn)
+
+    def _arm_watchdog(self, info):
+        if info.watchdog is not None:
+            info.watchdog.cancel()
+        delay = self._chain_timeout * (2.0 ** min(info.watchdog_attempt, 6))
+        info.watchdog = Timer(self.sim, delay, self._watchdog_fire,
+                              info.item_id)
+
+    def _watchdog_fire(self, item_id):
+        info = self._items[item_id]
+        if info.at_server:
+            return
+        self.watchdog_fires += 1
+        info.watchdog_attempt += 1
+        self._repair_chain(info)
+
+    def _chain_refs_pending(self, info):
+        """Chain members the server has not yet seen pass the item on."""
+        refs = info.fl.all_txns() + list(info.grafted_refs)
+        return [ref for ref in refs
+                if ref.txn_id not in info.released
+                and ref.txn_id not in self._dead]
+
+    def _repair_chain(self, info):
+        """The chain watchdog fired: route the item around dead members.
+
+        Re-dispatching to the pending suffix is always safe — in fault mode
+        every committed write reaches the server *before* its holder
+        forwards (ChainCommit gating), so the store version re-shipped to a
+        member is exactly the committed prefix of its predecessors; clients
+        merge duplicate copies without clobbering received data and double
+        returns are absorbed by set-based accounting. A member that already
+        forwarded answers a re-ship with a handoff note, shrinking the
+        pending set for the next round.
+        """
+        now = self.sim.now
+        item_id = info.item_id
+        pending = self._chain_refs_pending(info)
+        if not pending:
+            # Every member either returned, handed off, or died, so no live
+            # member will ever return the data (a genuinely in-flight
+            # return comes from a member still counted as pending; a member
+            # that only handed off to a *dead* successor leaves the item
+            # stranded). Recover from the store copy — ChainCommit gating
+            # makes it at least as new as any copy the chain ever held.
+            self.chain_repairs += 1
+            self._item_home(info)
+            return
+        crashed = [ref for ref in pending
+                   if self._injector.crashed_during(
+                       ref.client_id, info.dispatched_at, now)]
+        if not crashed and info.watchdog_attempt < 3:
+            # No member provably died; the chain is probably just slow (a
+            # member holds an item for its whole transaction). Only after
+            # three fires (the backoff doubles each time) does the repair
+            # run as a stall-breaker for the rare data-swallow case a dead
+            # member's removal can leave behind.
+            self._arm_watchdog(info)
+            return
+        self.chain_repairs += 1
+        crashed_ids = {ref.txn_id for ref in crashed}
+        for ref in crashed:
+            info.expected_refs.discard(ref.txn_id)
+            info.released.add(ref.txn_id)
+            if ref.txn_id in self._committed:
+                # Durably committed before dying: its effects are already
+                # in the store; it just cannot forward. Skip its position.
+                if ref.txn_id in self._txns:
+                    self._retire(ref.txn_id)
+            elif ref.txn_id in self._txns:
+                self._abort(ref.txn_id, reason="client-crash")
+        info.grafted_refs = [r for r in info.grafted_refs
+                             if r.txn_id not in crashed_ids]
+        # Waive the releases the next writers were expecting from dead
+        # readers, or they would gate forever.
+        entries = info.fl.entries
+        for index, entry in enumerate(entries):
+            if not entry.is_read_group or index + 1 >= len(entries):
+                continue
+            dead_readers = [r for r in entry.txns if r.txn_id in crashed_ids]
+            writer = entries[index + 1].writer
+            if not dead_readers or writer.txn_id in self._dead:
+                continue
+            for reader in dead_readers:
+                self.send(writer.client_id,
+                          ReleaseWaiver(item_id=item_id,
+                                        from_txn=reader.txn_id,
+                                        to_txn=writer.txn_id),
+                          size=CONTROL_SIZE)
+        survivors = [
+            (ref, mode) for ref, mode in info.fl.requests()
+            if ref.txn_id not in info.released
+            and ref.txn_id not in self._dead
+            and ref.txn_id in self._txns]
+        if not survivors:
+            self._item_home(info)
+            return
+        self._redispatch(info, survivors)
+
+    def _redispatch(self, info, survivors):
+        """Re-ship the item to the surviving chain suffix (original order
+        preserved) under a bumped epoch."""
+        item_id = info.item_id
+        new_fl = ForwardList.from_requests(survivors)
+        entries = new_fl.entries
+        info.fl = new_fl
+        info.epoch += 1
+        info.chain_has_writer = any(
+            entry.mode is LockMode.WRITE for entry in entries)
+        last = entries[-1]
+        info.expected_refs = set(last.txn_ids()) | {
+            ref.txn_id for ref in info.grafted_refs
+            if ref.txn_id not in info.released}
+        info.dispatched_at = self.sim.now
+        item = self.store.read(item_id)
+        dispatch_chain(self, item_id, item.version, item.value, new_fl,
+                       mr1w=self.config.mr1w, epoch=info.epoch)
+        self._arm_watchdog(info)
+
+    def _item_home(self, info):
+        """The chain is fully accounted for: install and open the window."""
+        item_id = info.item_id
         for ref in info.chain_all:
             entry = self._txns.get(ref.txn_id)
             if entry is not None:
-                entry.chain_items.discard(msg.item_id)
+                entry.chain_items.discard(item_id)
         info.chain_all = []
         info.chain_live.clear()
         info.chain_has_writer = False
         info.at_server = True
         info.expected_returns = 0
         info.returns_received = 0
-        if info.returned_version > self.store.version(msg.item_id):
-            self._install_returned(msg.item_id, info.returned_version,
+        if self.fault_mode:
+            info.released = set()
+            info.grafted_refs = []
+            info.expected_refs = set()
+            info.fl = None
+            if info.watchdog is not None:
+                info.watchdog.cancel()
+                info.watchdog = None
+        if info.returned_version > self.store.version(item_id):
+            self._install_returned(item_id, info.returned_version,
                                    info.returned_value)
         info.returned_version = -1
         info.returned_value = None
         self._maybe_dispatch(info)
-
-    def on_TxnDone(self, msg):
-        self._retire(msg.txn_id)
 
     # -- internals -----------------------------------------------------------
 
@@ -252,7 +463,10 @@ class G2PLServer(ProtocolServer):
     def _abort(self, txn_id, reason):
         entry = self._txns[txn_id]
         self._dead.add(txn_id)
-        self.avoidance_aborts += 1
+        if reason == "client-crash":
+            self.crash_aborts += 1
+        else:
+            self.avoidance_aborts += 1
         self.aborts_initiated += 1
         expect = tuple(sorted(entry.chain_items))
         # Defensive: purge any window entries (none exist for a sequential
@@ -260,6 +474,8 @@ class G2PLServer(ProtocolServer):
         for info in self._items.values():
             info.window = [w for w in info.window if w.ref.txn_id != txn_id]
         self._retire(txn_id)
+        if reason == "client-crash":
+            return  # nobody home to notify; chain repair moves the data
         self.send(entry.client_id,
                   AbortNotice(txn_id=txn_id, reason=reason,
                               expect_items=expect),
@@ -275,6 +491,9 @@ class G2PLServer(ProtocolServer):
         info.chain_all.append(ref)
         self._txns[ref.txn_id].chain_items.add(info.item_id)
         info.expected_returns += 1
+        if self.fault_mode:
+            info.expected_refs.add(ref.txn_id)
+            info.grafted_refs.append(ref)
         self.grafted_reads += 1
         item = self.store.read(info.item_id)
         solo = ForwardList([FLEntry(LockMode.READ, (ref,))])
@@ -282,7 +501,8 @@ class G2PLServer(ProtocolServer):
                   GShip(txn_id=ref.txn_id, item_id=info.item_id,
                         version=item.version, value=item.value,
                         mode=LockMode.READ, fl_tail=solo,
-                        group=(ref.txn_id,), release_to=None),
+                        group=(ref.txn_id,), release_to=None,
+                        epoch=info.epoch),
                   size=self.data_ship_size(fl=solo))
         return True
 
@@ -343,12 +563,20 @@ class G2PLServer(ProtocolServer):
         info.returned_version = -1
         for w in selected:
             self._txns[w.ref.txn_id].chain_items.add(info.item_id)
+        if self.fault_mode:
+            info.fl = fl
+            info.released = set()
+            info.grafted_refs = []
+            info.expected_refs = set(last.txn_ids())
+            info.dispatched_at = self.sim.now
+            info.watchdog_attempt = 0
+            self._arm_watchdog(info)
 
         self.windows_dispatched += 1
         self.fl_lengths.append(fl.txn_count())
         item = self.store.read(info.item_id)
         dispatch_chain(self, info.item_id, item.version, item.value, fl,
-                       mr1w=self.config.mr1w)
+                       mr1w=self.config.mr1w, epoch=info.epoch)
 
     # -- diagnostics ----------------------------------------------------------
 
@@ -377,7 +605,8 @@ class _Hold:
 
     __slots__ = ("txn_id", "item_id", "mode", "version", "value", "fl_tail",
                  "group", "awaiting", "gate_releases", "data_received",
-                 "committed_write", "new_value", "released", "early_releases")
+                 "committed_write", "new_value", "released", "early_releases",
+                 "epoch")
 
     def __init__(self, txn_id, item_id):
         self.txn_id = txn_id
@@ -394,6 +623,7 @@ class _Hold:
         self.new_value = None
         self.released = False
         self.early_releases = set()
+        self.epoch = 0            # chain-repair epoch of the received copy
 
     @property
     def ready_for_txn(self):
@@ -420,6 +650,16 @@ class G2PLClient(ProtocolClient):
         # txn_id -> "committed" / "aborted" / "aborted-server" once the
         # transaction has finished but its holds are not all forwarded yet.
         self._txn_state = {}
+        self._commit_events = {}  # txn_id -> Event awaiting ChainCommitAck
+
+    def reset_protocol_state(self):
+        self._active.clear()
+        self._grant_events.clear()
+        self._abort_flags.clear()
+        self._holds.clear()
+        self._txn_holds.clear()
+        self._txn_state.clear()
+        self._commit_events.clear()
 
     # -- message handlers ----------------------------------------------------
 
@@ -432,17 +672,52 @@ class G2PLClient(ProtocolClient):
         return hold
 
     def on_GShip(self, msg):
+        if self.fault_mode and self._on_gship_fault(msg):
+            return
         hold = self._hold(msg.txn_id, msg.item_id)
         hold.mode = msg.mode
         hold.version = msg.version
         hold.value = msg.value
         hold.fl_tail = msg.fl_tail
         hold.group = msg.group
+        hold.epoch = msg.epoch
         hold.data_received = True
         if msg.await_releases_from:
             hold.awaiting = set(msg.await_releases_from) - hold.early_releases
         hold.early_releases = set()
         self._progress(hold)
+
+    def _on_gship_fault(self, msg):
+        """Fault-mode pre-handling of a ship; True when fully handled."""
+        hold = self._holds.get((msg.txn_id, msg.item_id))
+        if hold is None:
+            if (msg.txn_id not in self._active
+                    and msg.txn_id not in self._txn_state):
+                # Repair re-ship for a hold this client already forwarded —
+                # or a pre-crash transaction a restarted site no longer
+                # remembers. Re-assert the release so the next repair round
+                # routes around this position instead of waiting on it.
+                self.send_control(self.server_id,
+                                  HandoffNote(item_id=msg.item_id,
+                                              from_txn=msg.txn_id,
+                                              epoch=msg.epoch))
+                return True
+            return False
+        if hold.data_received:
+            # Duplicate copy from a chain repair: never clobber received
+            # data, but a newer epoch replaces the routing state. Shrinking
+            # the awaiting set to the re-shipped group is safe — a reader
+            # the server dropped from the group has either released already
+            # or will never release (crashed).
+            if msg.epoch > hold.epoch:
+                hold.epoch = msg.epoch
+                hold.fl_tail = msg.fl_tail
+                if msg.group:
+                    hold.group = msg.group
+                hold.awaiting &= set(msg.await_releases_from)
+            self._progress(hold)
+            return True
+        return False
 
     def on_ReaderRelease(self, msg):
         hold = self._hold(msg.to_txn, msg.item_id)
@@ -464,6 +739,23 @@ class G2PLClient(ProtocolClient):
         else:
             # MR1W race guard: release beats the concurrent GShip.
             hold.early_releases.add(msg.from_txn)
+        self._progress(hold)
+
+    def on_ChainCommitAck(self, msg):
+        event = self._commit_events.pop(msg.txn_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(msg)
+
+    def on_ReleaseWaiver(self, msg):
+        hold = self._holds.get((msg.to_txn, msg.item_id))
+        if hold is None:
+            if msg.to_txn in self._active or msg.to_txn in self._txn_state:
+                # The waived release may beat the data (MR1W race shape).
+                self._hold(msg.to_txn, msg.item_id).early_releases.add(
+                    msg.from_txn)
+            return
+        hold.awaiting.discard(msg.from_txn)
+        hold.early_releases.add(msg.from_txn)
         self._progress(hold)
 
     def on_AbortNotice(self, msg):
@@ -544,6 +836,7 @@ class G2PLClient(ProtocolClient):
             out_version = hold.version
             out_value = hold.value
         fl = hold.fl_tail
+        forwarded_to_client = False
         if hold.mode is LockMode.READ:
             rest = fl.tail(1) if fl is not None and len(fl) else ForwardList()
             if rest:
@@ -555,28 +848,40 @@ class G2PLClient(ProtocolClient):
                               to_txn=writer.txn_id, version=out_version,
                               value=out_value if carries else None,
                               fl_from_writer=rest if carries else None,
-                              group=hold.group, carries_data=carries),
+                              group=hold.group, carries_data=carries,
+                              epoch=hold.epoch),
                           size=(self.data_ship_size(fl=rest)
                                 if carries else CONTROL_SIZE))
+                forwarded_to_client = True
             else:
                 self.send(self.server_id,
                           ReturnToServer(item_id=hold.item_id,
                                          version=out_version, value=out_value,
                                          from_txn=hold.txn_id,
-                                         outcomes={hold.txn_id: "done"}),
+                                         outcomes={hold.txn_id: "done"},
+                                         epoch=hold.epoch),
                           size=self.data_ship_size())
         else:
             rest = fl.tail(1) if fl is not None and len(fl) else ForwardList()
             if rest:
                 dispatch_chain(self, hold.item_id, out_version, out_value,
-                               rest, mr1w=self.config.mr1w)
+                               rest, mr1w=self.config.mr1w, epoch=hold.epoch)
+                forwarded_to_client = True
             else:
                 self.send(self.server_id,
                           ReturnToServer(item_id=hold.item_id,
                                          version=out_version, value=out_value,
                                          from_txn=hold.txn_id,
-                                         outcomes={hold.txn_id: "done"}),
+                                         outcomes={hold.txn_id: "done"},
+                                         epoch=hold.epoch),
                           size=self.data_ship_size())
+        if forwarded_to_client and self.fault_mode:
+            # Progress beacon for the stalled-chain watchdog: this member
+            # has passed the item on (returns speak for themselves).
+            self.send_control(self.server_id,
+                              HandoffNote(item_id=hold.item_id,
+                                          from_txn=hold.txn_id,
+                                          epoch=hold.epoch))
         self._holds.pop((hold.txn_id, hold.item_id), None)
         item_set = self._txn_holds.get(hold.txn_id)
         if item_set is not None:
@@ -590,6 +895,43 @@ class G2PLClient(ProtocolClient):
         """Process body: run one transaction to commit or abort."""
         start_time = self.sim.now
         self._active[txn.txn_id] = txn
+        try:
+            yield from self._run_ops(txn)
+        finally:
+            self._active.pop(txn.txn_id, None)
+            self._grant_events.pop(txn.txn_id, None)
+            self._abort_flags.pop(txn.txn_id, None)
+        end_time = self.sim.now
+        committed = txn.status.value == "committed"
+        if committed:
+            if not self.fault_mode:
+                # Fault mode: the server already recorded the commit when it
+                # acked the ChainCommit registration.
+                self.history.record_commit(txn.txn_id, time=self.sim.now)
+            self._txn_state[txn.txn_id] = "committed"
+        elif txn.abort_reason == "commit-limbo":
+            # Crashed while awaiting the ChainCommitAck: the server's record
+            # is authoritative (an unregistered commit counts as aborted),
+            # so record nothing — and the dead site forwards nothing; chain
+            # repair redistributes the holds.
+            return self.make_outcome(txn, start_time, end_time)
+        elif txn.abort_reason == "client-crash":
+            self.history.record_abort(txn.txn_id)
+            # Fail-stop: no releases flow from a dead site.
+            return self.make_outcome(txn, start_time, end_time)
+        else:
+            self.history.record_abort(txn.txn_id)
+            # Server-initiated aborts (the only kind in g-2PL) were already
+            # retired from the precedence graph; no TxnDone follows.
+            self._txn_state[txn.txn_id] = (
+                "aborted-server" if txn.abort_reason == "precedence-cycle"
+                else "aborted")
+            for item_id in list(self._txn_holds.get(txn.txn_id, ())):
+                self._holds[(txn.txn_id, item_id)].committed_write = False
+        self._try_release(txn.txn_id)
+        return self.make_outcome(txn, start_time, end_time)
+
+    def _run_ops(self, txn):
         try:
             for op in txn.spec.operations:
                 self.send(self.server_id,
@@ -630,24 +972,36 @@ class G2PLClient(ProtocolClient):
                         txn.txn_id, op.item_id, op.mode, hold.version,
                         self.sim.now)
             else:
-                txn.commit()
+                if self.fault_mode:
+                    yield from self._register_commit(txn)
+                else:
+                    txn.commit()
+        except Interrupt:
+            # The client site fail-stopped mid-transaction (fault
+            # injection); the run's crash controller interrupted us.
+            txn.abort("client-crash")
+
+    def _register_commit(self, txn):
+        """Fault mode: the commit only counts once the server registers it
+        (see :class:`~repro.protocols.messages.ChainCommit`) — send the
+        writes and wait for the ack before forwarding any hold."""
+        writes = {}
+        for item_id in self._txn_holds.get(txn.txn_id, ()):
+            hold = self._holds[(txn.txn_id, item_id)]
+            if hold.committed_write:
+                writes[item_id] = (hold.version + 1, hold.new_value)
+        event = self.sim.event()
+        self._commit_events[txn.txn_id] = event
+        self.send_control(self.server_id,
+                          ChainCommit(txn_id=txn.txn_id,
+                                      client_id=self.client_id,
+                                      writes=writes,
+                                      commit_time=self.sim.now))
+        try:
+            yield event
+        except Interrupt:
+            txn.abort("commit-limbo")
+            return
         finally:
-            self._active.pop(txn.txn_id, None)
-            self._grant_events.pop(txn.txn_id, None)
-            self._abort_flags.pop(txn.txn_id, None)
-        end_time = self.sim.now
-        committed = txn.status.value == "committed"
-        if committed:
-            self.history.record_commit(txn.txn_id, time=self.sim.now)
-            self._txn_state[txn.txn_id] = "committed"
-        else:
-            self.history.record_abort(txn.txn_id)
-            # Server-initiated aborts (the only kind in g-2PL) were already
-            # retired from the precedence graph; no TxnDone follows.
-            self._txn_state[txn.txn_id] = (
-                "aborted-server" if txn.abort_reason == "precedence-cycle"
-                else "aborted")
-            for item_id in list(self._txn_holds.get(txn.txn_id, ())):
-                self._holds[(txn.txn_id, item_id)].committed_write = False
-        self._try_release(txn.txn_id)
-        return self.make_outcome(txn, start_time, end_time)
+            self._commit_events.pop(txn.txn_id, None)
+        txn.commit()

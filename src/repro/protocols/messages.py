@@ -38,11 +38,18 @@ class DataShip:
 
 @dataclass(frozen=True)
 class CommitRelease:
-    """Client → server (s-2PL): transaction commit; carries all updates."""
+    """Client → server (s-2PL): transaction commit; carries all updates.
+
+    ``commit_time`` is set under fault injection: the server then records
+    the history commit on receipt (the commit only *counts* once the server
+    has durably seen it), stamped with the client's decision time so
+    strictness checks still measure against the client-side commit point.
+    """
 
     txn_id: int
     updates: dict  # item_id -> new value
     read_items: tuple = ()
+    commit_time: float = None
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,11 @@ class GShip:
     used by the next writer to count releases. ``await_releases_from`` is
     non-empty for a writer shipped concurrently with its preceding read
     group under MR1W.
+
+    ``epoch`` is the item's chain-repair epoch (fault injection): each
+    server-side repair of a stalled chain bumps it, and a re-shipped copy
+    with a higher epoch replaces a hold's forward list and awaiting set
+    without touching already-received data.
     """
 
     txn_id: int
@@ -90,6 +102,7 @@ class GShip:
     group: tuple = ()
     release_to: Optional[tuple] = None  # (txn_id, client_id) or None
     await_releases_from: tuple = ()
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -109,6 +122,7 @@ class ReaderRelease:
     fl_from_writer: object = None  # ForwardList, basic mode only
     group: tuple = ()              # the releasing reader's group (txn ids)
     carries_data: bool = False
+    epoch: int = 0                 # chain-repair epoch (fault injection)
 
 
 @dataclass(frozen=True)
@@ -124,6 +138,7 @@ class ReturnToServer:
     value: object
     from_txn: int
     outcomes: dict = field(default_factory=dict)
+    epoch: int = 0  # chain-repair epoch (fault injection)
 
 
 @dataclass(frozen=True)
@@ -137,6 +152,62 @@ class TxnDone:
 
     txn_id: int
     committed: bool
+
+
+@dataclass(frozen=True)
+class ChainCommit:
+    """g-2PL client → server, fault mode only: commit registration.
+
+    Under fault injection a g-2PL client may die between deciding to commit
+    and its writes reaching the server via the chain, and chain repair
+    would then re-dispatch a stale version — a lost committed write. So in
+    fault mode the commit point moves to the server: the client sends its
+    writes (item -> (new_version, value)) and *waits for the ack* before
+    marking itself committed and forwarding its holds. The server installs
+    the writes immediately (guarded by version, so the later chain return
+    is a no-op) and records the history commit stamped with the client's
+    decision time.
+    """
+
+    txn_id: int
+    client_id: int
+    writes: dict          # item_id -> (version, value)
+    commit_time: float
+
+
+@dataclass(frozen=True)
+class ChainCommitAck:
+    """Server → client, fault mode: the commit is registered; forward away."""
+
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class HandoffNote:
+    """g-2PL client → server, fault mode: progress beacon.
+
+    Sent when a hold is forwarded to a *successor client* (returns to the
+    server speak for themselves), so the stalled-chain watchdog knows which
+    members already passed the item on and repairs only the suffix that
+    never saw it.
+    """
+
+    item_id: int
+    from_txn: int
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class ReleaseWaiver:
+    """g-2PL server → MR1W writer, fault mode: stop waiting for a reader.
+
+    ``from_txn`` crashed (or was repaired away); the writer's awaiting set
+    must drop it or the writer would gate on a release that can never come.
+    """
+
+    item_id: int
+    from_txn: int
+    to_txn: int
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,8 @@ from repro.protocols.messages import (
     DataShip,
     LockRequest,
 )
+from repro.sim.errors import Interrupt
+from repro.sim.timers import Timer
 
 VICTIM_POLICIES = ("requester", "youngest", "oldest")
 
@@ -39,15 +41,49 @@ class S2PLServer(ProtocolServer):
         self._txns = {}
         self._dead = set()
         self.deadlocks_found = 0
+        # fault injection: txns reclaimed because their client crashed
+        self._swept = set()
+        self._injector = None
+        self._sweep_interval = None
+        self.crash_reclaims = 0
         if config.victim_policy not in VICTIM_POLICIES:
             raise ValueError(
                 f"unknown victim policy {config.victim_policy!r}; "
                 f"choose from {VICTIM_POLICIES}")
 
+    # -- fault recovery --------------------------------------------------------
+
+    def enable_fault_recovery(self, injector, rto, chain_timeout,
+                              sweep_interval):
+        """Periodically reclaim locks held or awaited by transactions whose
+        client site is crashed — without this every item a dead client
+        touched would stay locked forever. Deterministic: the failure
+        detector reads the spec's static crash windows."""
+        self._injector = injector
+        self._sweep_interval = sweep_interval
+        Timer(self.sim, sweep_interval, self._crash_sweep)
+
+    def _crash_sweep(self):
+        now = self.sim.now
+        crashed = [txn_id for txn_id, (client_id, _) in self._txns.items()
+                   if self._injector.is_crashed(client_id, now)]
+        # Two passes: first drop every crashed txn's queued requests so a
+        # release can never grant a lock to another dead transaction, then
+        # release what they hold.
+        for txn_id in crashed:
+            self._swept.add(txn_id)
+            self._dead.discard(txn_id)
+            self.crash_reclaims += 1
+            for grantee, item_id, mode in self.lock_table.drop_queued(txn_id):
+                self._grant(grantee, item_id, mode)
+        for txn_id in crashed:
+            self._finish(txn_id)
+        Timer(self.sim, self._sweep_interval, self._crash_sweep)
+
     # -- message handlers ----------------------------------------------------
 
     def on_LockRequest(self, msg):
-        if msg.txn_id in self._dead:
+        if msg.txn_id in self._dead or msg.txn_id in self._swept:
             return  # request from a transaction this server already aborted
         if msg.txn_id not in self._txns:
             self._txns[msg.txn_id] = (self._client_of(msg), self.sim.now)
@@ -58,6 +94,11 @@ class S2PLServer(ProtocolServer):
         self._detect_and_resolve(msg.txn_id)
 
     def on_CommitRelease(self, msg):
+        if msg.txn_id in self._swept:
+            # The commit raced the crash sweep and lost: the locks are gone
+            # and the updates with them — without a recorded history commit
+            # the transaction never counts as committed.
+            return
         if msg.txn_id in self._dead:
             # Defensive: a victim cannot normally commit (victims are always
             # waiting), but if it happens the updates are discarded and the
@@ -66,10 +107,16 @@ class S2PLServer(ProtocolServer):
             self._finish(msg.txn_id)
             return
         self.install_updates(msg.txn_id, msg.updates)
+        if msg.commit_time is not None:
+            # Fault mode: the server is the commit point of record (see
+            # CommitRelease). Stamped with the client's decision time.
+            self.history.record_commit(msg.txn_id, time=msg.commit_time)
         self._finish(msg.txn_id)
 
     def on_AbortRelease(self, msg):
         # The aborted client finished rolling back: now the locks go.
+        if msg.txn_id in self._swept:
+            return
         self._dead.discard(msg.txn_id)
         self._finish(msg.txn_id)
 
@@ -161,6 +208,11 @@ class S2PLClient(ProtocolClient):
         self._grant_events = {}  # txn_id -> Event while waiting
         self._abort_flags = {}   # txn_id -> AbortNotice arriving off-wait
 
+    def reset_protocol_state(self):
+        self._active.clear()
+        self._grant_events.clear()
+        self._abort_flags.clear()
+
     # -- message handlers ----------------------------------------------------
 
     def on_DataShip(self, msg):
@@ -187,6 +239,40 @@ class S2PLClient(ProtocolClient):
         self._active[txn.txn_id] = txn
         updates = {}
         read_items = []
+        try:
+            yield from self._run_ops(txn, updates, read_items)
+        finally:
+            self._active.pop(txn.txn_id, None)
+            self._grant_events.pop(txn.txn_id, None)
+            self._abort_flags.pop(txn.txn_id, None)
+        end_time = self.sim.now
+        if txn.running:  # pragma: no cover - loop always settles status
+            raise AssertionError("transaction left running")
+        if txn.status.value == "committed":
+            release = CommitRelease(
+                txn_id=txn.txn_id, updates=updates,
+                read_items=tuple(read_items),
+                commit_time=self.sim.now if self.fault_mode else None)
+            if not self.fault_mode:
+                # Under fault injection the release may be lost with the
+                # client; the server records the commit when (and only
+                # when) the release actually arrives.
+                self.history.record_commit(txn.txn_id, time=self.sim.now)
+            self.send(self.server_id, release,
+                      size=CONTROL_SIZE
+                      + len(updates) * self.config.data_item_size)
+        elif txn.abort_reason == "client-crash":
+            # The site fail-stopped: nothing is sent (the wire is severed
+            # anyway); the server's crash sweep reclaims the locks.
+            self.history.record_abort(txn.txn_id)
+        else:
+            self.history.record_abort(txn.txn_id)
+            # Roll back locally, then tell the server to release the locks.
+            self.send(self.server_id, AbortRelease(txn_id=txn.txn_id),
+                      size=CONTROL_SIZE)
+        return self.make_outcome(txn, start_time, end_time)
+
+    def _run_ops(self, txn, updates, read_items):
         try:
             for op in txn.spec.operations:
                 self.send(self.server_id,
@@ -220,23 +306,7 @@ class S2PLClient(ProtocolClient):
                         self.sim.now)
             else:
                 txn.commit()
-        finally:
-            self._active.pop(txn.txn_id, None)
-            self._grant_events.pop(txn.txn_id, None)
-            self._abort_flags.pop(txn.txn_id, None)
-        end_time = self.sim.now
-        if txn.running:  # pragma: no cover - loop always settles status
-            raise AssertionError("transaction left running")
-        if txn.status.value == "committed":
-            self.history.record_commit(txn.txn_id, time=self.sim.now)
-            self.send(self.server_id,
-                      CommitRelease(txn_id=txn.txn_id, updates=updates,
-                                    read_items=tuple(read_items)),
-                      size=CONTROL_SIZE
-                      + len(updates) * self.config.data_item_size)
-        else:
-            self.history.record_abort(txn.txn_id)
-            # Roll back locally, then tell the server to release the locks.
-            self.send(self.server_id, AbortRelease(txn_id=txn.txn_id),
-                      size=CONTROL_SIZE)
-        return self.make_outcome(txn, start_time, end_time)
+        except Interrupt:
+            # The client site fail-stopped mid-transaction (fault
+            # injection); the run's crash controller interrupted us.
+            txn.abort("client-crash")

@@ -18,6 +18,7 @@ from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.mailbox import Mailbox
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
+from repro.sim.timers import Timer
 
 __all__ = [
     "AllOf",
@@ -30,4 +31,5 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "Timer",
 ]

@@ -83,6 +83,15 @@ class Simulator:
         ``until`` may be a time (the clock is advanced to exactly ``until``
         if the simulation outlives it) or an :class:`Event` (run until that
         event is processed; its value is returned).
+
+        With a time horizon the clock lands on exactly ``until`` even when
+        the heap drained *earlier* — intentional, and the SimPy convention:
+        ``run(until=t)`` means "advance the simulated world to time t", and
+        an idle tail is simulated time that passed with nothing happening.
+        Rates computed as events / ``now`` therefore use the requested
+        duration, comparable across runs, rather than the accident of the
+        last event's timestamp. (Event-horizon runs stop at the event's own
+        timestamp instead.)
         """
         if isinstance(until, Event):
             return self._run_until_event(until)

@@ -1,0 +1,48 @@
+"""Cancellable one-shot timers on top of the event heap.
+
+The kernel's :meth:`Simulator.call_later` cannot be revoked once scheduled;
+retransmission and watchdog logic needs timers that are armed and disarmed
+constantly. A :class:`Timer` schedules its callback through ``call_later``
+and drops it at fire time if :meth:`cancel` ran first — the heap entry
+itself stays (removing from a heap is O(n)), it just becomes a no-op, which
+is the standard lazy-deletion discipline.
+"""
+
+
+class Timer:
+    """Run ``callback(*args)`` once, ``delay`` time units from creation,
+    unless cancelled first."""
+
+    __slots__ = ("sim", "callback", "args", "fire_at", "_cancelled", "_fired")
+
+    def __init__(self, sim, delay, callback, *args):
+        if delay < 0:
+            raise ValueError(f"negative timer delay {delay!r}")
+        self.sim = sim
+        self.callback = callback
+        self.args = args
+        self.fire_at = sim.now + delay
+        self._cancelled = False
+        self._fired = False
+        sim.call_later(delay, self._fire)
+
+    def _fire(self):
+        if self._cancelled:
+            return
+        self._fired = True
+        self.callback(*self.args)
+
+    def cancel(self):
+        """Disarm the timer; a no-op if it already fired."""
+        self._cancelled = True
+
+    @property
+    def active(self):
+        """True while the timer is armed and has neither fired nor been
+        cancelled."""
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self):
+        state = ("cancelled" if self._cancelled
+                 else "fired" if self._fired else "armed")
+        return f"<Timer at={self.fire_at:g} {state}>"

@@ -55,21 +55,50 @@ class ClientDriver:
         self.control = control
         self.collector = collector
         self.mpl = mpl
+        self._live_execs = set()
+        self._crashed = False
+        self._restart_event = None
 
     def start(self):
         """Spawn the client loop(s); returns the list of processes."""
         return [self.sim.spawn(self._loop(stream))
                 for stream in range(self.mpl)]
 
+    # -- crash lifecycle (fault injection) -----------------------------------
+
+    def crash(self):
+        """Fail-stop this site: every in-flight transaction is interrupted
+        (its coroutine aborts with reason ``client-crash``) and the loop(s)
+        park until :meth:`restart`."""
+        self._crashed = True
+        self._restart_event = self.sim.event()
+        for proc in list(self._live_execs):
+            proc.interrupt("client-crash")
+
+    def restart(self):
+        """The site comes back up and resumes submitting transactions."""
+        self._crashed = False
+        event, self._restart_event = self._restart_event, None
+        if event is not None and not event.triggered:
+            event.succeed()
+
     def _loop(self, stream):
         stagger_key = (self.client_id if stream == 0
                        else f"{self.client_id}.s{stream}")
         yield self.sim.timeout(self.generator.initial_stagger(stagger_key))
         while not self.control.done:
+            if self._crashed:
+                yield self._restart_event  # parks forever without a restart
+                continue
             spec = self.generator.next_spec(self.client_id)
             txn = Transaction(self.control.next_txn_id(), self.client_id,
                               spec, birth=self.sim.now)
-            outcome = yield self.sim.spawn(self.protocol_client.execute(txn))
+            proc = self.sim.spawn(self.protocol_client.execute(txn))
+            self._live_execs.add(proc)
+            try:
+                outcome = yield proc
+            finally:
+                self._live_execs.discard(proc)
             if self.control.done:
                 break  # the run closed while this transaction was in flight
             self.collector.record_outcome(outcome)

@@ -64,6 +64,29 @@ def test_fifo_on_same_pair():
     assert [p for (_, _, p) in sites[1].received] == ["first", "second"]
 
 
+def test_fifo_small_after_large_under_finite_bandwidth():
+    # Regression: without the per-link delivery-time clamp the second
+    # (small) message's shorter transmission time let it overtake the
+    # first, breaking the FIFO guarantee the protocols rely on.
+    sim, net, sites = make_net(latency=5.0, bandwidth=1.0)
+    net.send(0, 1, "large", size=100.0)        # arrives at 5 + 100 = 105
+    small = net.send(0, 1, "small", size=1.0)  # unclamped: 5 + 1 = 6
+    sim.run()
+    assert [p for (_, _, p) in sites[1].received] == ["large", "small"]
+    assert small.deliver_time == pytest.approx(105.0)
+
+
+def test_fifo_clamp_is_per_link():
+    # A slow transfer on one pair must not delay traffic on other pairs.
+    sim, net, sites = make_net(latency=5.0, bandwidth=1.0)
+    net.send(0, 1, "slow", size=100.0)
+    net.send(0, 2, "fast", size=1.0)
+    net.send(2, 1, "cross", size=1.0)
+    sim.run()
+    assert sites[2].received[0][0] == pytest.approx(6.0)
+    assert sites[1].received[0] == (pytest.approx(6.0), 2, "cross")
+
+
 def test_infinite_bandwidth_ignores_size():
     sim, net, sites = make_net(latency=5.0)
     net.send(0, 1, "big", size=10_000)

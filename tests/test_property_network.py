@@ -2,9 +2,11 @@
 
 from hypothesis import given, settings, strategies as st
 
+from repro.network.faults import FaultInjector, FaultSpec
 from repro.network.topology import MatrixTopology, Site, UniformTopology
 from repro.network.transport import Network
 from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
 
 
 class Recorder(Site):
@@ -58,6 +60,40 @@ def test_fifo_per_pair(payloads, latency):
         net.send(0, 1, payload)
     sim.run()
     assert [p for (_, _, p) in receiver.received] == payloads
+
+
+@given(st.lists(st.tuples(st.integers(0, 2),     # src
+                          st.integers(0, 2),     # dst
+                          st.floats(min_value=0.1, max_value=200.0,
+                                    allow_nan=False)),  # size
+                min_size=1, max_size=30),
+       st.one_of(st.none(),
+                 st.floats(min_value=0.1, max_value=10.0, allow_nan=False)),
+       st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+       st.integers(0, 2**20))
+@settings(max_examples=200, deadline=None)
+def test_fifo_per_pair_for_any_sizes_bandwidth_and_jitter(
+        sends, bandwidth, jitter, seed):
+    """Per-(src, dst) delivery order equals send order no matter how
+    size-dependent (finite bandwidth) or randomised (fault jitter) the
+    individual wire delays are — the per-link clamp serialises each pair."""
+    sim = Simulator()
+    faults = None
+    if jitter:
+        faults = FaultInjector(FaultSpec(extra_jitter=jitter),
+                               RandomStreams(seed).spawn("faults"))
+    net = Network(sim, UniformTopology(5.0), bandwidth=bandwidth,
+                  faults=faults)
+    sites = [net.add_site(Recorder(i, sim)) for i in range(3)]
+    for index, (src, dst, size) in enumerate(sends):
+        net.send(src, dst, (src, dst, index), size=size)
+    sim.run()
+    for site in sites:
+        per_pair = {}
+        for _when, _src, (src, dst, index) in site.received:
+            per_pair.setdefault((src, dst), []).append(index)
+        for indices in per_pair.values():
+            assert indices == sorted(indices)
 
 
 @given(st.dictionaries(

@@ -60,6 +60,31 @@ def test_run_until_time_stops_and_sets_clock():
     assert seen == [1, 10]
 
 
+def test_run_until_time_advances_clock_past_drained_heap():
+    # Pins the documented (SimPy-convention) semantics: run(until=t) means
+    # "advance the simulated world to t", so the clock lands on exactly t
+    # even when the last event fired earlier — the idle tail is simulated
+    # time in which nothing happened, and rates computed as events / now
+    # use the requested duration rather than the last event's timestamp.
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, 1)
+    sim.run(until=50.0)
+    assert seen == [1]
+    assert sim.now == 50.0
+    # Scheduling keeps working relative to the advanced clock.
+    sim.call_later(2.0, seen.append, 2)
+    sim.run()
+    assert seen == [1, 2]
+    assert sim.now == 52.0
+
+
+def test_run_until_time_on_empty_heap_advances_clock():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
 def test_run_until_event_returns_value():
     sim = Simulator()
     event = sim.event()

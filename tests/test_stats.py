@@ -1,11 +1,17 @@
 """Unit tests for metrics collection and confidence intervals."""
 
 import math
+import sys
 
 import pytest
 
 from repro.protocols.transaction import TxnOutcome
-from repro.stats.ci import ConfidenceInterval, mean_confidence_interval
+from repro.stats.ci import (
+    _T_TABLES,
+    _t_critical,
+    ConfidenceInterval,
+    mean_confidence_interval,
+)
 from repro.stats.collector import MetricsCollector
 
 
@@ -59,6 +65,52 @@ class TestCollector:
     def test_negative_warmup_rejected(self):
         with pytest.raises(ValueError):
             MetricsCollector(-1)
+
+
+class TestTCritical:
+    def test_tables_cover_every_dof_through_30(self):
+        # Regression: the table used to have gaps past dof 10, so CIs over
+        # 12-30 replications crashed with a KeyError.
+        for confidence, (table, _normal) in _T_TABLES.items():
+            assert sorted(table) == list(range(1, 31)), confidence
+            for dof in range(1, 31):
+                assert _t_critical(confidence, dof) == table[dof]
+
+    def test_tabulated_values_strictly_decrease_toward_normal(self):
+        for confidence, (table, normal) in _T_TABLES.items():
+            values = [table[dof] for dof in range(1, 31)]
+            assert values == sorted(values, reverse=True)
+            assert values[-1] > normal
+
+    def test_spot_checks_against_standard_tables(self):
+        assert _t_critical(0.95, 1) == pytest.approx(12.706)
+        assert _t_critical(0.95, 19) == pytest.approx(2.093)
+        assert _t_critical(0.99, 25) == pytest.approx(2.787)
+        assert _t_critical(0.90, 12) == pytest.approx(1.782)
+
+    def test_large_dof_falls_back_to_normal_quantile(self):
+        assert _t_critical(0.95, 31) == pytest.approx(1.960)
+        assert _t_critical(0.90, 1000) == pytest.approx(1.645)
+        assert _t_critical(0.99, 31) == pytest.approx(2.576)
+
+    def test_invalid_dof_rejected(self):
+        with pytest.raises(ValueError, match="degrees of freedom"):
+            _t_critical(0.95, 0)
+        with pytest.raises(ValueError, match="degrees of freedom"):
+            _t_critical(0.95, -3)
+
+    def test_non_tabulated_confidence_without_scipy_raises(self, monkeypatch):
+        # Force the no-scipy path even when scipy is installed: a None
+        # entry in sys.modules makes `from scipy import stats` raise
+        # ImportError.
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        with pytest.raises(ValueError, match="not tabulated"):
+            _t_critical(0.80, 5)
+
+    def test_non_tabulated_confidence_with_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        assert _t_critical(0.80, 5) == pytest.approx(
+            float(scipy_stats.t.ppf(0.9, 5)))
 
 
 class TestConfidenceInterval:
