@@ -6,10 +6,15 @@ EXPERIMENTS.md at any fidelity.
 
 from repro.analysis.ascii_plot import ascii_plot
 from repro.analysis.crossover import find_crossover
-from repro.analysis.tables import render_experiment, render_pairs
+from repro.analysis.tables import (
+    render_experiment,
+    render_pairs,
+    render_rounds_table,
+)
 from repro.core import experiments as exp
 from repro.core.worked_example import run_worked_example
 from repro.network.presets import NetworkEnvironment
+from repro.obs.rounds import round_table
 
 
 def _block(title, body):
@@ -51,6 +56,9 @@ def generate_report(fidelity="bench", seed=101, include_plots=True,
         render_pairs("", exp.table2_environments())))
     sections.append(_block(
         "Figure 1 — Worked example", str(run_worked_example())))
+    sections.append(_block(
+        "Round accounting — 3m vs 2m+1 (traced)",
+        render_rounds_table(round_table(ms=(2, 4, 8)))))
 
     for pr in (0.0, 0.6, 1.0):
         results = exp.latency_sweep_experiment(

@@ -36,6 +36,14 @@ def _add_workload_args(parser):
         help="fault-injection spec, e.g. "
              "'loss=0.05,dup=0.01,jitter=50,crash=3@10000:20000' "
              "(see repro.network.faults.FaultSpec.parse)")
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect structured trace events and per-transaction "
+             "round/latency accounting (metrics stay bit-identical)")
+    parser.add_argument(
+        "--probe-interval", type=float, default=None, metavar="T",
+        help="sample time-series gauges (queue depths, in-flight "
+             "messages, heap depth) every T sim-time units")
 
 
 def _jobs_type(value):
@@ -60,6 +68,8 @@ def _config_from(args, protocol):
         total_transactions=args.transactions,
         warmup_transactions=args.warmup, seed=args.seed,
         faults=getattr(args, "faults", None),
+        trace=getattr(args, "trace", False),
+        probe_interval=getattr(args, "probe_interval", None),
         record_history=False)
 
 
@@ -73,6 +83,14 @@ def _cmd_run(args):
           f"throughput: {result.throughput:.5f} txn/unit")
     for key, value in sorted(result.server_stats.items()):
         print(f"  {key}: {value}")
+    if args.verbose:
+        print(f"  {result.engine_summary()}")
+        print(f"  p50/p95/p99 response: "
+              f"{result.metrics.p50_response_time:,.1f} / "
+              f"{result.metrics.p95_response_time:,.1f} / "
+              f"{result.metrics.p99_response_time:,.1f}")
+    if result.trace is not None:
+        print(result.trace.summary.describe())
     return 0
 
 
@@ -83,11 +101,59 @@ def _cmd_compare(args):
                                 jobs=args.jobs)
     for name, result in results.items():
         print(f"  {name:10} {result.summary()}")
+        if result.trace_summary is not None:
+            print(f"    mean sequential rounds per commit: "
+                  f"{result.trace_summary.mean_rounds_per_commit:.2f}")
     if "s2pl" in results and "g2pl" in results:
         improvement = improvement_percentage(results["s2pl"],
                                              results["g2pl"])
         print(f"g-2PL improvement over s-2PL: {improvement:+.1f}% "
               f"(paper: 19.5%-26.9% with updates)")
+    return 0
+
+
+def _cmd_trace(args):
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_jsonl,
+        write_probes_csv,
+    )
+
+    args.trace = True
+    if args.probe_interval is None:
+        # Without an explicit interval, sample roughly once per round trip
+        # so the probe CSV is never empty.
+        args.probe_interval = max(2.0 * args.latency, 1.0)
+    config = _config_from(args, args.protocol)
+    result = run_simulation(config)
+    trace = result.trace
+    prefix = args.out
+    jsonl = f"{prefix}.jsonl"
+    chrome = f"{prefix}.chrome.json"
+    csv_path = f"{prefix}.metrics.csv"
+    write_jsonl(jsonl, trace, config=config, seed=result.seed)
+    write_chrome_trace(chrome, trace)
+    write_probes_csv(csv_path, trace)
+    print(result.summary())
+    print(trace.summary.describe())
+    print(f"wrote {jsonl} ({len(trace.events)} events, "
+          f"{len(trace.txns)} txn records)")
+    print(f"wrote {chrome} (open in Perfetto / chrome://tracing)")
+    print(f"wrote {csv_path} ({len(trace.probes)} probe samples)")
+    return 0
+
+
+def _cmd_report(args):
+    from repro.analysis.report import generate_report
+
+    report = generate_report(fidelity=args.fidelity, seed=args.seed,
+                             quick=args.quick, jobs=args.jobs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
     return 0
 
 
@@ -165,6 +231,9 @@ def build_parser():
     run_parser = sub.add_parser("run", help="run one simulation")
     run_parser.add_argument("--protocol", default="g2pl",
                             choices=available_protocols())
+    run_parser.add_argument("--verbose", "-v", action="store_true",
+                            help="also print engine counters and "
+                                 "response-time percentiles")
     _add_workload_args(run_parser)
     _add_jobs_arg(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -187,6 +256,29 @@ def build_parser():
                                choices=[f.label for f in Fidelity])
     _add_jobs_arg(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run one traced simulation and export the trace "
+                      "(JSONL + Chrome trace-event + probe CSV)")
+    trace_parser.add_argument("--protocol", default="g2pl",
+                              choices=available_protocols())
+    trace_parser.add_argument("--out", default="trace", metavar="PREFIX",
+                              help="output path prefix (default: trace)")
+    _add_workload_args(trace_parser)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate the full reproduction report "
+                       "(all figures + round-accounting table)")
+    report_parser.add_argument("--fidelity", default="bench",
+                               choices=[f.label for f in Fidelity])
+    report_parser.add_argument("--seed", type=int, default=101)
+    report_parser.add_argument("--quick", action="store_true",
+                               help="endpoints-only sweeps (smoke check)")
+    report_parser.add_argument("--out", default=None, metavar="PATH",
+                               help="write markdown here instead of stdout")
+    _add_jobs_arg(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
 
     list_parser = sub.add_parser("list", help="list protocols and figures")
     list_parser.set_defaults(func=_cmd_list)

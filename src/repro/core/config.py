@@ -80,6 +80,12 @@ class SimulationConfig:
     seed: int = 1
     record_history: bool = True
 
+    # observability (repro.obs): structured tracing and time-series probes.
+    # Tracing never perturbs results — metrics are bit-identical either way.
+    trace: bool = False
+    probe_interval: Optional[float] = None  # sim-time between gauge samples
+    trace_engine: bool = False  # per-heap-entry engine events (very hot)
+
     def __post_init__(self):
         if self.faults is not None:
             from repro.network.faults import FaultSpec
@@ -98,6 +104,8 @@ class SimulationConfig:
                 "warmup_transactions must be below total_transactions")
         if self.mpl < 1:
             raise ValueError("mpl must be >= 1")
+        if self.probe_interval is not None and self.probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
 
     def replace(self, **changes):
         """A copy with ``changes`` applied (validation re-runs)."""

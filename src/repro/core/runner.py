@@ -1,10 +1,14 @@
 """Assemble and run simulations; replicate; compare protocols."""
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.parallel import SimulationCell, replication_seed, run_cells
 from repro.network.faults import FaultInjector, derive_recovery_times
+from repro.obs.probes import ProbeSampler, default_sources
+from repro.obs.summary import TraceSummary
+from repro.obs.tracer import Tracer
 from repro.network.reliable import ReliableLink
 from repro.network.topology import UniformTopology
 from repro.network.transport import Network
@@ -41,6 +45,10 @@ class SimulationResult:
     data_units_sent: float
     serializability: Optional[object] = None  # SerializabilityReport
     server_stats: dict = field(default_factory=dict)
+    # engine profiling counters (wall-clock rates are nondeterministic and
+    # therefore kept out of server_stats, which replays bit-identically)
+    engine_stats: dict = field(default_factory=dict)
+    trace: Optional[object] = None  # TraceData when the run was traced
 
     @property
     def mean_response_time(self):
@@ -59,6 +67,16 @@ class SimulationResult:
                 f"aborts={self.abort_percentage:.2f}% "
                 f"committed={self.metrics.committed} "
                 f"messages={self.messages_sent}")
+
+    def engine_summary(self):
+        """One-line engine profile (``repro-experiment run --verbose``)."""
+        stats = self.engine_stats
+        if not stats:
+            return "engine: (no counters collected)"
+        rate = stats.get("events_per_sec", 0.0)
+        return (f"engine: {stats.get('processed_events', 0):,} events, "
+                f"peak heap depth {stats.get('peak_heap_depth', 0):,}, "
+                f"{rate:,.0f} events/sec wall-clock")
 
 
 def _validate_faults(config, injector):
@@ -118,6 +136,10 @@ def run_simulation(config, seed=None, check_serializability=None):
         check_serializability = config.record_history
 
     sim = Simulator()
+    tracer = None
+    if config.trace or config.probe_interval is not None:
+        tracer = Tracer(sim, engine_events=config.trace_engine)
+        sim.tracer = tracer
     streams = RandomStreams(seed)
     history = HistoryRecorder(enabled=config.record_history)
     store = VersionedStore(range(config.n_items))
@@ -128,6 +150,8 @@ def run_simulation(config, seed=None, check_serializability=None):
         _validate_faults(config, injector)
     network = Network(sim, UniformTopology(config.network_latency),
                       bandwidth=config.bandwidth, faults=injector)
+    if tracer is not None:
+        tracer.bind_network(network)
     client_ids = list(range(1, config.n_clients + 1))
     server, clients = make_protocol(config.protocol, sim, config, store, wal,
                                     history, client_ids)
@@ -146,7 +170,12 @@ def run_simulation(config, seed=None, check_serializability=None):
         driver.start()
     if injector is not None:
         _install_fault_layer(sim, config, injector, server, clients, drivers)
+    if tracer is not None and config.probe_interval is not None:
+        ProbeSampler(sim, tracer, config.probe_interval,
+                     default_sources(sim, network, server, tracer),
+                     stop_when=lambda: control.done).start()
 
+    wall_start = time.perf_counter()
     try:
         sim.run(until=control.done_event)
     except SimulationError as exc:
@@ -154,6 +183,7 @@ def run_simulation(config, seed=None, check_serializability=None):
             f"simulation stalled after {control.finished} of "
             f"{config.total_transactions} transactions "
             f"({config.describe()}): {exc}") from exc
+    wall_seconds = time.perf_counter() - wall_start
 
     report = None
     if check_serializability:
@@ -193,6 +223,18 @@ def run_simulation(config, seed=None, check_serializability=None):
             if hasattr(server, attr):
                 server_stats[attr] = getattr(server, attr)
 
+    engine_stats = {
+        "processed_events": sim.processed_events,
+        "peak_heap_depth": sim.peak_heap_depth,
+        "wall_seconds": wall_seconds,
+        "events_per_sec": (sim.processed_events / wall_seconds
+                           if wall_seconds > 0 else 0.0),
+    }
+    trace = None
+    if tracer is not None:
+        trace = tracer.finish(processed_events=sim.processed_events,
+                              peak_heap_depth=sim.peak_heap_depth)
+
     return SimulationResult(
         config=config,
         seed=seed,
@@ -202,6 +244,8 @@ def run_simulation(config, seed=None, check_serializability=None):
         data_units_sent=network.stats.data_units_sent,
         serializability=report,
         server_stats=server_stats,
+        engine_stats=engine_stats,
+        trace=trace,
     )
 
 
@@ -213,6 +257,9 @@ class ReplicatedResult:
     runs: list
     response_time: object   # ConfidenceInterval
     abort_percentage: object  # ConfidenceInterval
+    # Merged TraceSummary over the traced runs (None when untraced). The
+    # merge is order-stable sums/maxima, so jobs=N equals jobs=1 exactly.
+    trace_summary: Optional[object] = None
 
     @property
     def mean_response_time(self):
@@ -236,6 +283,9 @@ def aggregate_runs(config, runs):
             [run.mean_response_time for run in runs]),
         abort_percentage=mean_confidence_interval(
             [run.abort_percentage for run in runs]),
+        trace_summary=TraceSummary.merge(
+            [run.trace.summary if run.trace is not None else None
+             for run in runs]),
     )
 
 

@@ -66,6 +66,10 @@ class LockTable:
         lock = self._items.get(item)
         return list(lock.queue) if lock else []
 
+    def total_waiters(self):
+        """Total queued requests across all items (a contention gauge)."""
+        return sum(len(lock.queue) for lock in self._items.values())
+
     def held_items(self, txn):
         """Items currently held by ``txn`` as a mapping item -> mode."""
         return dict(self._held_by_txn.get(txn, {}))

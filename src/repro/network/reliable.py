@@ -76,6 +76,9 @@ class ReliableLink:
             if key not in self._pending:
                 return  # acked (or sender crashed) while the timer was armed
             self.retransmissions += 1
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.net_retransmit(self.site.site_id, dst)
         self._raw_send(dst, wrapped, size)
         delay = min(self.rto * self.backoff ** attempt, self.max_interval)
         self._pending[key] = Timer(self.sim, delay, self._transmit,
@@ -104,6 +107,10 @@ class ReliableLink:
             tag = (payload.incarnation, payload.seq)
             if tag in seen:
                 self.duplicates_suppressed += 1
+                tracer = getattr(self.sim, "tracer", None)
+                if tracer is not None:
+                    tracer.net_dup_suppressed(self.site.site_id,
+                                              envelope.src)
                 return None
             seen.add(tag)
             return payload.inner

@@ -5,6 +5,13 @@ from dataclasses import dataclass, field
 from repro.network.message import Envelope
 
 
+def payload_kind(payload):
+    """Traffic class of a payload. Reliable-channel wrappers are
+    transparent: the protocol mix matters, not the framing."""
+    inner = getattr(payload, "inner", None)
+    return type(payload if inner is None else inner).__name__
+
+
 @dataclass
 class NetworkStats:
     """Aggregate traffic counters, used to verify the paper's round-count
@@ -17,11 +24,7 @@ class NetworkStats:
     def record(self, envelope):
         self.messages_sent += 1
         self.data_units_sent += envelope.size
-        payload = envelope.payload
-        # Reliable-channel wrappers are transparent to the per-type counts:
-        # the protocol mix matters, not the framing.
-        inner = getattr(payload, "inner", None)
-        kind = type(payload if inner is None else inner).__name__
+        kind = payload_kind(envelope.payload)
         self.per_type[kind] = self.per_type.get(kind, 0) + 1
 
 
@@ -93,24 +96,45 @@ class Network:
         envelope = Envelope(src=src, dst=dst, payload=payload, size=size,
                             send_time=now)
         self.stats.record(envelope)
+        tracer = getattr(self.sim, "tracer", None)
         base_delay = self.delay(src, dst, size)
         if self.faults is None:
             envelope.deliver_time = self._schedule_delivery(
                 envelope, now + base_delay)
+            if tracer is not None:
+                tracer.net_scheduled(envelope)
+                tracer.net_send(envelope, payload_kind(payload))
             return envelope
+        fstats = self.faults.stats
+        if tracer is not None:
+            pre_loss = fstats.dropped_loss
+            pre_partition = fstats.dropped_partition
+            pre_dup = fstats.duplicated
         first = None
         for extra in self.faults.plan_delays(src, dst, now):
             deliver = self._fifo_clamp(src, dst, now + base_delay + extra)
             if self.faults.severed_by_crash(src, dst, now, deliver):
-                self.faults.stats.dropped_crash += 1
+                fstats.dropped_crash += 1
+                if tracer is not None:
+                    tracer.net_dropped(envelope, "crash")
                 continue
-            self.faults.stats.delivered += 1
+            fstats.delivered += 1
             deliver = self._schedule_delivery(envelope, deliver)
+            if tracer is not None:
+                tracer.net_scheduled(envelope)
             if first is None:
                 first = deliver
         # A dropped message still reports when it *would* have arrived.
         envelope.deliver_time = first if first is not None \
             else now + base_delay
+        if tracer is not None:
+            for _ in range(fstats.dropped_loss - pre_loss):
+                tracer.net_dropped(envelope, "loss")
+            for _ in range(fstats.dropped_partition - pre_partition):
+                tracer.net_dropped(envelope, "partition")
+            for _ in range(fstats.duplicated - pre_dup):
+                tracer.net_duplicated(envelope)
+            tracer.net_send(envelope, payload_kind(payload))
         return envelope
 
     def _fifo_clamp(self, src, dst, deliver_time):
@@ -128,4 +152,7 @@ class Network:
         return deliver_time
 
     def _deliver(self, envelope):
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.net_delivered(envelope)
         self._sites[envelope.dst].receive(envelope)

@@ -1,0 +1,31 @@
+"""Observability: structured tracing, round accounting, probes, exporters."""
+
+from repro.obs.export import write_chrome_trace, write_jsonl, write_probes_csv
+from repro.obs.probes import ProbeSampler, default_sources
+from repro.obs.rounds import (
+    RoundProfile,
+    contended_round_profile,
+    expected_rounds,
+    round_table,
+)
+from repro.obs.schema import EVENT_SCHEMA, validate_events, validate_trace
+from repro.obs.summary import TraceSummary
+from repro.obs.tracer import TraceData, Tracer
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "ProbeSampler",
+    "RoundProfile",
+    "TraceData",
+    "Tracer",
+    "TraceSummary",
+    "contended_round_profile",
+    "default_sources",
+    "expected_rounds",
+    "round_table",
+    "validate_events",
+    "validate_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_probes_csv",
+]

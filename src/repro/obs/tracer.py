@@ -1,0 +1,299 @@
+"""Structured tracing for the simulator stack.
+
+The tracer is attached to the :class:`~repro.sim.engine.Simulator` as
+``sim.tracer``; every instrumented call site guards with ``tracer is not
+None``, so a run without tracing executes exactly the pre-instrumentation
+code path (zero overhead when disabled, and — because the tracer never
+draws random numbers and only ever *adds* heap entries for probes — a run
+with tracing produces bit-identical :class:`RunMetrics`).
+
+Three kinds of records are captured:
+
+* **events** — ``(sim_time, kind, fields)`` tuples for every structured
+  event (message sends/drops, lock grants, FL dispatches, watchdog
+  repairs, transaction lifecycle, ...); see :mod:`repro.obs.schema`.
+* **transactions** — per-transaction latency-round accounting: the count
+  of *sequential message rounds* a transaction's busy period contributed
+  (the paper's 3m vs 2m+1 arithmetic) and a decomposition of its response
+  time into propagation, transmission, server-queueing, client-processing
+  (think), delivery slack (jitter / FIFO clamping), and residual lock
+  wait.
+* **probes** — periodic gauge samples recorded by
+  :class:`~repro.obs.probes.ProbeSampler`.
+
+Round-charging scheme (validates the paper's arithmetic exactly on the
+worked-example scenario):
+
+* ``request``  — charged when a client sends a LockRequest.
+* ``grant``    — charged when the *server* ships data (s-2PL DataShip,
+  g-2PL chain-head dispatch or reader graft). Grants that a forwarding
+  client performs are not grants but handoffs:
+* ``handoff``  — charged to the *forwarding* transaction when its release
+  doubles as the successor's grant (the g-2PL merged message).
+* ``release``  — charged to the releasing transaction when the release
+  travels alone (s-2PL commit/abort release, g-2PL return-to-server).
+* ``grant_concurrent`` — the MR1W co-ship; counted but excluded from the
+  sequential total (it overlaps the read group's rounds).
+* ``commit`` / ``commit_ack`` — the fault-mode ChainCommit round trip.
+"""
+
+from dataclasses import dataclass
+
+from repro.obs.summary import NON_SEQUENTIAL_ROUND_KINDS, TraceSummary
+
+
+@dataclass
+class TraceData:
+    """Everything one traced run captured (plain data, picklable)."""
+
+    events: list    # [(time, kind, {field: value}), ...]
+    txns: list      # [per-transaction record dict, ...]
+    probes: list    # [(time, series_name, value), ...]
+    summary: TraceSummary
+
+
+class _TxnAcc:
+    """Accumulating per-transaction charges; finalised into a record."""
+
+    __slots__ = ("txn_id", "client_id", "begin", "rounds", "propagation",
+                 "transmission", "slack", "server_queue", "client_think")
+
+    def __init__(self, txn_id):
+        self.txn_id = txn_id
+        self.client_id = None
+        self.begin = None
+        self.rounds = {}
+        self.propagation = 0.0
+        self.transmission = 0.0
+        self.slack = 0.0
+        self.server_queue = 0.0
+        self.client_think = 0.0
+
+
+class Tracer:
+    """Collects structured events and per-transaction accounting."""
+
+    def __init__(self, sim, engine_events=False):
+        self.sim = sim
+        self.engine_events = engine_events
+        self.network = None
+        self.events = []
+        self.probes = []
+        self._live = {}   # txn_id -> _TxnAcc
+        self._done = {}   # txn_id -> (acc, meta dict), insertion-ordered
+        # run-local message ids: the Envelope counter is module-global (not
+        # reset per run), so traces keyed on it would differ between worker
+        # processes; the tracer numbers messages itself.
+        self._msg_ids = {}
+        self._next_msg_id = 0
+        # network gauges / counters
+        self.in_flight = {}         # (src, dst) -> currently-flying copies
+        self.in_flight_total = 0
+        self.messages_sent = 0
+        self.msgs_by_kind = {}
+        self.drops_by_cause = {}
+        self.duplicates_injected = 0
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+
+    def bind_network(self, network):
+        """Attach the network whose topology/bandwidth price the wires."""
+        self.network = network
+
+    # -- generic events ------------------------------------------------------
+
+    def emit(self, kind, /, **fields):
+        self.events.append((self.sim.now, kind, fields))
+
+    # -- engine --------------------------------------------------------------
+
+    def engine_dispatch(self, when, depth):
+        """Per-heap-entry event; only wired up when ``engine_events``."""
+        self.events.append((when, "engine.dispatch", {"depth": depth}))
+
+    # -- network -------------------------------------------------------------
+
+    def _msg_id(self, envelope):
+        mid = self._msg_ids.get(envelope.envelope_id)
+        if mid is None:
+            self._next_msg_id += 1
+            mid = self._msg_ids[envelope.envelope_id] = self._next_msg_id
+        return mid
+
+    def net_send(self, envelope, kind):
+        self.messages_sent += 1
+        self.msgs_by_kind[kind] = self.msgs_by_kind.get(kind, 0) + 1
+        self.emit("msg.send", id=self._msg_id(envelope), src=envelope.src,
+                  dst=envelope.dst, kind=kind, size=envelope.size,
+                  deliver=envelope.deliver_time)
+
+    def net_scheduled(self, envelope):
+        link = (envelope.src, envelope.dst)
+        self.in_flight[link] = self.in_flight.get(link, 0) + 1
+        self.in_flight_total += 1
+
+    def net_delivered(self, envelope):
+        link = (envelope.src, envelope.dst)
+        flying = self.in_flight.get(link, 0)
+        if flying > 0:
+            self.in_flight[link] = flying - 1
+            self.in_flight_total -= 1
+        self.emit("msg.deliver", id=self._msg_id(envelope),
+                  src=envelope.src, dst=envelope.dst)
+
+    def net_dropped(self, envelope, cause):
+        self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
+        self.emit("msg.drop", id=self._msg_id(envelope), src=envelope.src,
+                  dst=envelope.dst, cause=cause)
+
+    def net_duplicated(self, envelope):
+        self.duplicates_injected += 1
+        self.emit("msg.dup", id=self._msg_id(envelope), src=envelope.src,
+                  dst=envelope.dst)
+
+    def net_retransmit(self, site_id, dst):
+        self.retransmissions += 1
+        self.emit("msg.retransmit", src=site_id, dst=dst)
+
+    def net_dup_suppressed(self, site_id, src):
+        self.duplicates_suppressed += 1
+        self.emit("msg.dup_suppressed", site=site_id, src=src)
+
+    # -- per-transaction accounting ------------------------------------------
+
+    def _acc(self, txn_id):
+        acc = self._live.get(txn_id)
+        if acc is None:
+            done = self._done.get(txn_id)
+            if done is not None:
+                # Late charge: a committed g-2PL transaction can still hand
+                # an item off after its coroutine returned (MR1W gating).
+                return done[0]
+            acc = self._live[txn_id] = _TxnAcc(txn_id)
+        return acc
+
+    def round_charge(self, txn_id, kind):
+        rounds = self._acc(txn_id).rounds
+        rounds[kind] = rounds.get(kind, 0) + 1
+
+    def wire_charge(self, txn_id, envelope):
+        """Charge an *awaited* message's wire time to the transaction that
+        blocks on its arrival. ``envelope`` may be None (under fault
+        injection the reliable link owns the wire) — then only the round
+        counts, the wire components are unknowable."""
+        if envelope is None:
+            return
+        acc = self._acc(txn_id)
+        network = self.network
+        propagation = (network.topology.latency(envelope.src, envelope.dst)
+                       if network is not None else 0.0)
+        transmission = (envelope.size / network.bandwidth
+                        if network is not None and network.bandwidth
+                        else 0.0)
+        slack = (envelope.deliver_time - envelope.send_time
+                 - propagation - transmission)
+        acc.propagation += propagation
+        acc.transmission += transmission
+        acc.slack += slack if slack > 0.0 else 0.0
+
+    def think_charge(self, txn_id, duration):
+        self._acc(txn_id).client_think += duration
+
+    def queue_charge(self, txn_id, duration):
+        self._acc(txn_id).server_queue += duration
+
+    def txn_begin(self, txn):
+        acc = self._acc(txn.txn_id)
+        acc.client_id = txn.client_id
+        acc.begin = self.sim.now
+        self.emit("txn.begin", txn=txn.txn_id, client=txn.client_id)
+
+    def txn_finished(self, outcome, measured=True):
+        """Finalise a transaction from its driver-visible outcome."""
+        acc = self._live.pop(outcome.txn_id, None)
+        if acc is None:
+            acc = _TxnAcc(outcome.txn_id)
+        acc.client_id = outcome.client_id
+        meta = {
+            "committed": outcome.committed,
+            "measured": measured,
+            "start": outcome.start_time,
+            "end": outcome.end_time,
+            "response": outcome.response_time,
+            "n_ops": outcome.n_ops,
+            "abort_reason": outcome.abort_reason,
+        }
+        self._done[outcome.txn_id] = (acc, meta)
+        self.emit("txn.end", txn=outcome.txn_id, client=outcome.client_id,
+                  committed=outcome.committed,
+                  response=outcome.response_time)
+
+    # -- probes --------------------------------------------------------------
+
+    def probe(self, name, value):
+        self.probes.append((self.sim.now, name, value))
+
+    # -- finalisation --------------------------------------------------------
+
+    def _txn_record(self, acc, meta):
+        sequential = sum(count for kind, count in acc.rounds.items()
+                         if kind not in NON_SEQUENTIAL_ROUND_KINDS)
+        explained = (acc.propagation + acc.transmission + acc.slack
+                     + acc.server_queue + acc.client_think)
+        record = {
+            "txn": acc.txn_id,
+            "client": acc.client_id,
+            "rounds": dict(acc.rounds),
+            "rounds_sequential": sequential,
+            "propagation": acc.propagation,
+            "transmission": acc.transmission,
+            "slack": acc.slack,
+            "server_queue": acc.server_queue,
+            "client_think": acc.client_think,
+            # residual: time blocked on other transactions' locks
+            "lock_wait": meta["response"] - explained,
+        }
+        record.update(meta)
+        return record
+
+    def finish(self, processed_events=0, peak_heap_depth=0):
+        """Freeze everything captured into a picklable :class:`TraceData`."""
+        txns = [self._txn_record(acc, meta)
+                for acc, meta in self._done.values()]
+        summary = TraceSummary(
+            messages_sent=self.messages_sent,
+            msgs_by_kind=dict(self.msgs_by_kind),
+            drops_by_cause=dict(self.drops_by_cause),
+            duplicates_injected=self.duplicates_injected,
+            retransmissions=self.retransmissions,
+            duplicates_suppressed=self.duplicates_suppressed,
+            trace_events=len(self.events),
+            processed_events=processed_events,
+            peak_heap_depth=peak_heap_depth,
+        )
+        for record in txns:
+            if not record["measured"]:
+                continue
+            if record["committed"]:
+                summary.committed += 1
+                summary.rounds_total += record["rounds_sequential"]
+                for kind, count in record["rounds"].items():
+                    summary.rounds_by_kind[kind] = (
+                        summary.rounds_by_kind.get(kind, 0) + count)
+                summary.response_sum += record["response"]
+                summary.propagation_sum += record["propagation"]
+                summary.transmission_sum += record["transmission"]
+                summary.server_queue_sum += record["server_queue"]
+                summary.client_think_sum += record["client_think"]
+                summary.slack_sum += record["slack"]
+                summary.lock_wait_sum += record["lock_wait"]
+            else:
+                summary.aborted += 1
+        for _, name, value in self.probes:
+            cell = summary.probe_series.setdefault(
+                name, {"n": 0, "sum": 0.0, "max": float("-inf")})
+            cell["n"] += 1
+            cell["sum"] += value
+            cell["max"] = max(cell["max"], value)
+        return TraceData(events=list(self.events), txns=txns,
+                         probes=list(self.probes), summary=summary)

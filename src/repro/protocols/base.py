@@ -85,6 +85,13 @@ class ProtocolServer(_Dispatcher):
             self._handler_for(payload)(payload)
             return
         start = max(self.sim.now, self._cpu_free_at)
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            # CPU wait + service both count as server queueing for the
+            # transaction named by the message (if any).
+            txn_id = getattr(payload, "txn_id", None)
+            if txn_id is not None:
+                tracer.queue_charge(txn_id, start + cost - self.sim.now)
         self._cpu_free_at = start + cost
         self.sim.call_later(self._cpu_free_at - self.sim.now,
                             self._handler_for(payload), payload)

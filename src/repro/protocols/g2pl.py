@@ -43,7 +43,11 @@ Mechanics implemented here:
 from dataclasses import dataclass
 
 from repro.locking.modes import LockMode
-from repro.protocols.base import ProtocolClient, ProtocolServer
+from repro.protocols.base import (
+    SERVER_SITE_ID,
+    ProtocolClient,
+    ProtocolServer,
+)
 from repro.protocols.forward_list import FLEntry, ForwardList, TxnRef
 from repro.protocols.messages import (
     AbortNotice,
@@ -74,6 +78,11 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
     co-readers and the writer their release must go to. Under MR1W the
     writer after a read group is shipped concurrently.
     """
+    tracer = getattr(sender.sim, "tracer", None)
+    # Only the server's initial ship of a chain is a *grant* round; a
+    # forwarding client's ship is the tail of its own handoff round
+    # (charged in _forward) — that merge is the point of the protocol.
+    from_server = sender.site_id == SERVER_SITE_ID
     first = fl.head
     if first.is_read_group:
         next_writer = fl[1].writer if len(fl) > 1 else None
@@ -81,27 +90,42 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
                       if next_writer is not None else None)
         group = first.txn_ids()
         for ref in first.txns:
-            sender.send(ref.client_id,
-                        GShip(txn_id=ref.txn_id, item_id=item_id,
-                              version=version, value=value,
-                              mode=LockMode.READ, fl_tail=fl, group=group,
-                              release_to=release_to, epoch=epoch),
-                        size=sender.data_ship_size(fl=fl))
+            env = sender.send(ref.client_id,
+                              GShip(txn_id=ref.txn_id, item_id=item_id,
+                                    version=version, value=value,
+                                    mode=LockMode.READ, fl_tail=fl,
+                                    group=group, release_to=release_to,
+                                    epoch=epoch),
+                              size=sender.data_ship_size(fl=fl))
+            if tracer is not None:
+                if from_server:
+                    tracer.round_charge(ref.txn_id, "grant")
+                tracer.wire_charge(ref.txn_id, env)
         if next_writer is not None and mr1w:
-            sender.send(next_writer.client_id,
-                        GShip(txn_id=next_writer.txn_id, item_id=item_id,
-                              version=version, value=value,
-                              mode=LockMode.WRITE, fl_tail=fl.tail(1),
-                              group=group, await_releases_from=group,
-                              epoch=epoch),
-                        size=sender.data_ship_size(fl=fl.tail(1)))
+            env = sender.send(next_writer.client_id,
+                              GShip(txn_id=next_writer.txn_id,
+                                    item_id=item_id,
+                                    version=version, value=value,
+                                    mode=LockMode.WRITE, fl_tail=fl.tail(1),
+                                    group=group, await_releases_from=group,
+                                    epoch=epoch),
+                              size=sender.data_ship_size(fl=fl.tail(1)))
+            if tracer is not None:
+                # Concurrent with the read group's rounds, so it never
+                # extends the sequential chain.
+                tracer.round_charge(next_writer.txn_id, "grant_concurrent")
+                tracer.wire_charge(next_writer.txn_id, env)
     else:
         writer = first.writer
-        sender.send(writer.client_id,
-                    GShip(txn_id=writer.txn_id, item_id=item_id,
-                          version=version, value=value,
-                          mode=LockMode.WRITE, fl_tail=fl, epoch=epoch),
-                    size=sender.data_ship_size(fl=fl))
+        env = sender.send(writer.client_id,
+                          GShip(txn_id=writer.txn_id, item_id=item_id,
+                                version=version, value=value,
+                                mode=LockMode.WRITE, fl_tail=fl, epoch=epoch),
+                          size=sender.data_ship_size(fl=fl))
+        if tracer is not None:
+            if from_server:
+                tracer.round_charge(writer.txn_id, "grant")
+            tracer.wire_charge(writer.txn_id, env)
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +228,10 @@ class G2PLServer(ProtocolServer):
             entry = self._txns[txn_id] = _TxnEntry(msg.client_id, self.sim.now)
         info = self._items[msg.item_id]
         ref = TxnRef(txn_id=txn_id, client_id=entry.client_id)
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("lock.request", txn=txn_id, item=msg.item_id,
+                        mode=msg.mode.name, client=msg.client_id)
 
         # Fixed constraint: every live dispatched-chain member precedes the
         # new request. If any such edge closes a cycle, the conflicting
@@ -226,6 +254,9 @@ class G2PLServer(ProtocolServer):
             self.precedence.add_edge(chain_txn, txn_id)
         info.window.append(
             _WindowRequest(ref=ref, mode=msg.mode, arrival=self.sim.now))
+        if tracer is not None:
+            tracer.emit("fl.collect", txn=txn_id, item=msg.item_id,
+                        window=len(info.window))
         if info.at_server:
             self._maybe_dispatch(info)
 
@@ -280,8 +311,13 @@ class G2PLServer(ProtocolServer):
             for item_id, (version, value) in sorted(msg.writes.items()):
                 if version > self.store.version(item_id):
                     self._install_returned(item_id, version, value)
-        self.send(msg.client_id, ChainCommitAck(txn_id=msg.txn_id),
-                  size=CONTROL_SIZE)
+        env = self.send(msg.client_id, ChainCommitAck(txn_id=msg.txn_id),
+                        size=CONTROL_SIZE)
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("chain.commit", txn=msg.txn_id)
+            tracer.round_charge(msg.txn_id, "commit_ack")
+            tracer.wire_charge(msg.txn_id, env)
 
     def on_HandoffNote(self, msg):
         info = self._items[msg.item_id]
@@ -303,6 +339,10 @@ class G2PLServer(ProtocolServer):
             return
         self.watchdog_fires += 1
         info.watchdog_attempt += 1
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("fl.watchdog", item=item_id,
+                        attempt=info.watchdog_attempt)
         self._repair_chain(info)
 
     def _chain_refs_pending(self, info):
@@ -335,6 +375,10 @@ class G2PLServer(ProtocolServer):
             # stranded). Recover from the store copy — ChainCommit gating
             # makes it at least as new as any copy the chain ever held.
             self.chain_repairs += 1
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.emit("fl.repair", item=item_id,
+                            action="store-recovery")
             self._item_home(info)
             return
         crashed = [ref for ref in pending
@@ -349,6 +393,10 @@ class G2PLServer(ProtocolServer):
             self._arm_watchdog(info)
             return
         self.chain_repairs += 1
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("fl.repair", item=item_id, action="route-around",
+                        crashed=len(crashed))
         crashed_ids = {ref.txn_id for ref in crashed}
         for ref in crashed:
             info.expected_refs.discard(ref.txn_id)
@@ -411,6 +459,9 @@ class G2PLServer(ProtocolServer):
     def _item_home(self, info):
         """The chain is fully accounted for: install and open the window."""
         item_id = info.item_id
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("fl.home", item=item_id)
         for ref in info.chain_all:
             entry = self._txns.get(ref.txn_id)
             if entry is not None:
@@ -468,6 +519,9 @@ class G2PLServer(ProtocolServer):
         else:
             self.avoidance_aborts += 1
         self.aborts_initiated += 1
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("txn.abort", txn=txn_id, reason=reason)
         expect = tuple(sorted(entry.chain_items))
         # Defensive: purge any window entries (none exist for a sequential
         # client, but cheap to guarantee).
@@ -497,13 +551,18 @@ class G2PLServer(ProtocolServer):
         self.grafted_reads += 1
         item = self.store.read(info.item_id)
         solo = ForwardList([FLEntry(LockMode.READ, (ref,))])
-        self.send(ref.client_id,
-                  GShip(txn_id=ref.txn_id, item_id=info.item_id,
-                        version=item.version, value=item.value,
-                        mode=LockMode.READ, fl_tail=solo,
-                        group=(ref.txn_id,), release_to=None,
-                        epoch=info.epoch),
-                  size=self.data_ship_size(fl=solo))
+        env = self.send(ref.client_id,
+                        GShip(txn_id=ref.txn_id, item_id=info.item_id,
+                              version=item.version, value=item.value,
+                              mode=LockMode.READ, fl_tail=solo,
+                              group=(ref.txn_id,), release_to=None,
+                              epoch=info.epoch),
+                        size=self.data_ship_size(fl=solo))
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("fl.graft", txn=ref.txn_id, item=info.item_id)
+            tracer.round_charge(ref.txn_id, "grant")
+            tracer.wire_charge(ref.txn_id, env)
         return True
 
     def _ordering_key(self, window_requests):
@@ -574,6 +633,17 @@ class G2PLServer(ProtocolServer):
 
         self.windows_dispatched += 1
         self.fl_lengths.append(fl.txn_count())
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            # The window that collected while the item was away freezes
+            # into this FL; a new one opens (carrying any capped leftover)
+            # and collects until the item next comes home.
+            tracer.emit("fl.window_close", item=info.item_id,
+                        size=len(selected))
+            tracer.emit("fl.dispatch", item=info.item_id,
+                        n_txns=fl.txn_count(), epoch=info.epoch)
+            tracer.emit("fl.window_open", item=info.item_id,
+                        carried=len(info.window))
         item = self.store.read(info.item_id)
         dispatch_chain(self, info.item_id, item.version, item.value, fl,
                        mr1w=self.config.mr1w, epoch=info.epoch)
@@ -584,6 +654,14 @@ class G2PLServer(ProtocolServer):
         if not self.fl_lengths:
             return 0.0
         return sum(self.fl_lengths) / len(self.fl_lengths)
+
+    def queue_depth(self):
+        """Requests waiting in collection windows (contention gauge)."""
+        return sum(len(info.window) for info in self._items.values())
+
+    def fl_occupancy(self):
+        """Live transactions on currently-dispatched forward lists."""
+        return sum(len(info.chain_live) for info in self._items.values())
 
     def assert_invariants(self):
         """Cheap structural invariants, used by tests after every run."""
@@ -836,23 +914,32 @@ class G2PLClient(ProtocolClient):
             out_version = hold.version
             out_value = hold.value
         fl = hold.fl_tail
+        tracer = getattr(self.sim, "tracer", None)
         forwarded_to_client = False
+        successor = None
         if hold.mode is LockMode.READ:
             rest = fl.tail(1) if fl is not None and len(fl) else ForwardList()
             if rest:
                 writer = rest.head.writer
                 carries = not self.config.mr1w
-                self.send(writer.client_id,
-                          ReaderRelease(
-                              item_id=hold.item_id, from_txn=hold.txn_id,
-                              to_txn=writer.txn_id, version=out_version,
-                              value=out_value if carries else None,
-                              fl_from_writer=rest if carries else None,
-                              group=hold.group, carries_data=carries,
-                              epoch=hold.epoch),
-                          size=(self.data_ship_size(fl=rest)
-                                if carries else CONTROL_SIZE))
+                env = self.send(writer.client_id,
+                                ReaderRelease(
+                                    item_id=hold.item_id,
+                                    from_txn=hold.txn_id,
+                                    to_txn=writer.txn_id,
+                                    version=out_version,
+                                    value=out_value if carries else None,
+                                    fl_from_writer=rest if carries else None,
+                                    group=hold.group, carries_data=carries,
+                                    epoch=hold.epoch),
+                                size=(self.data_ship_size(fl=rest)
+                                      if carries else CONTROL_SIZE))
                 forwarded_to_client = True
+                successor = writer.client_id
+                if tracer is not None and carries:
+                    # Basic mode: the writer awaits this release for its
+                    # data, so its wire counts against the writer.
+                    tracer.wire_charge(writer.txn_id, env)
             else:
                 self.send(self.server_id,
                           ReturnToServer(item_id=hold.item_id,
@@ -867,6 +954,9 @@ class G2PLClient(ProtocolClient):
                 dispatch_chain(self, hold.item_id, out_version, out_value,
                                rest, mr1w=self.config.mr1w, epoch=hold.epoch)
                 forwarded_to_client = True
+                head = rest.head
+                successor = (head.txns[0].client_id if head.is_read_group
+                             else head.writer.client_id)
             else:
                 self.send(self.server_id,
                           ReturnToServer(item_id=hold.item_id,
@@ -875,6 +965,17 @@ class G2PLClient(ProtocolClient):
                                          outcomes={hold.txn_id: "done"},
                                          epoch=hold.epoch),
                           size=self.data_ship_size())
+        if tracer is not None:
+            # The merged release+grant is one sequential round, charged to
+            # the transaction whose termination triggers it.
+            if forwarded_to_client:
+                tracer.round_charge(hold.txn_id, "handoff")
+                tracer.emit("fl.handoff", txn=hold.txn_id,
+                            item=hold.item_id, to=successor)
+            else:
+                tracer.round_charge(hold.txn_id, "release")
+                tracer.emit("fl.return", txn=hold.txn_id,
+                            item=hold.item_id)
         if forwarded_to_client and self.fault_mode:
             # Progress beacon for the stalled-chain watchdog: this member
             # has passed the item on (returns speak for themselves).
@@ -932,12 +1033,18 @@ class G2PLClient(ProtocolClient):
         return self.make_outcome(txn, start_time, end_time)
 
     def _run_ops(self, txn):
+        tracer = getattr(self.sim, "tracer", None)
         try:
             for op in txn.spec.operations:
-                self.send(self.server_id,
-                          LockRequest(txn_id=txn.txn_id, item_id=op.item_id,
-                                      mode=op.mode, client_id=self.client_id),
-                          size=CONTROL_SIZE)
+                env = self.send(self.server_id,
+                                LockRequest(txn_id=txn.txn_id,
+                                            item_id=op.item_id,
+                                            mode=op.mode,
+                                            client_id=self.client_id),
+                                size=CONTROL_SIZE)
+                if tracer is not None:
+                    tracer.round_charge(txn.txn_id, "request")
+                    tracer.wire_charge(txn.txn_id, env)
                 requested_at = self.sim.now
                 event = self.sim.event()
                 self._grant_events[txn.txn_id] = (op.item_id, event)
@@ -955,6 +1062,8 @@ class G2PLClient(ProtocolClient):
                 self.op_waits.append(self.sim.now - requested_at)
                 hold = msg
                 yield self.sim.timeout(op.think_time)
+                if tracer is not None:
+                    tracer.think_charge(txn.txn_id, op.think_time)
                 notice = self._abort_flags.pop(txn.txn_id, None)
                 if notice is not None:
                     txn.abort(notice.reason)
@@ -997,6 +1106,9 @@ class G2PLClient(ProtocolClient):
                                       client_id=self.client_id,
                                       writes=writes,
                                       commit_time=self.sim.now))
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.round_charge(txn.txn_id, "commit")
         try:
             yield event
         except Interrupt:

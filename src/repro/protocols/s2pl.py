@@ -67,6 +67,10 @@ class S2PLServer(ProtocolServer):
         now = self.sim.now
         crashed = [txn_id for txn_id, (client_id, _) in self._txns.items()
                    if self._injector.is_crashed(client_id, now)]
+        if crashed:
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.emit("crash.sweep", reclaimed=len(crashed))
         # Two passes: first drop every crashed txn's queued requests so a
         # release can never grant a lock to another dead transaction, then
         # release what they hold.
@@ -87,10 +91,16 @@ class S2PLServer(ProtocolServer):
             return  # request from a transaction this server already aborted
         if msg.txn_id not in self._txns:
             self._txns[msg.txn_id] = (self._client_of(msg), self.sim.now)
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("lock.request", txn=msg.txn_id, item=msg.item_id,
+                        mode=msg.mode.name, client=msg.client_id)
         state = self.lock_table.acquire(msg.txn_id, msg.item_id, msg.mode)
         if state is LockRequestState.GRANTED:
             self._ship(msg.txn_id, msg.item_id, msg.mode)
             return
+        if tracer is not None:
+            tracer.emit("lock.queued", txn=msg.txn_id, item=msg.item_id)
         self._detect_and_resolve(msg.txn_id)
 
     def on_CommitRelease(self, msg):
@@ -134,6 +144,9 @@ class S2PLServer(ProtocolServer):
     def _finish(self, txn_id):
         self._txns.pop(txn_id, None)
         granted = self.lock_table.release_all(txn_id)
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("lock.release", txn=txn_id, granted=len(granted))
         for grantee, item_id, mode in granted:
             self._grant(grantee, item_id, mode)
 
@@ -145,10 +158,21 @@ class S2PLServer(ProtocolServer):
     def _ship(self, txn_id, item_id, mode):
         client_id, _ = self._txns[txn_id]
         item = self.store.read(item_id)
-        self.send(client_id,
-                  DataShip(txn_id=txn_id, item_id=item_id,
-                           version=item.version, value=item.value, mode=mode),
-                  size=self.data_ship_size())
+        env = self.send(client_id,
+                        DataShip(txn_id=txn_id, item_id=item_id,
+                                 version=item.version, value=item.value,
+                                 mode=mode),
+                        size=self.data_ship_size())
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("lock.grant", txn=txn_id, item=item_id,
+                        mode=mode.name)
+            tracer.round_charge(txn_id, "grant")
+            tracer.wire_charge(txn_id, env)
+
+    def queue_depth(self):
+        """Total queued (waiting) lock requests — a contention gauge."""
+        return self.lock_table.total_waiters()
 
     def _build_waitfor_graph(self):
         wfg = WaitForGraph()
@@ -167,6 +191,10 @@ class S2PLServer(ProtocolServer):
                 return
             self.deadlocks_found += 1
             victim = self._choose_victim(cycle)
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.emit("lock.deadlock", requester=requester,
+                            victim=victim, cycle=len(set(cycle)))
             self._abort(victim, reason="deadlock")
             if victim == requester:
                 return
@@ -193,6 +221,9 @@ class S2PLServer(ProtocolServer):
         client_id, _ = self._txns[txn_id]
         self._dead.add(txn_id)
         self.aborts_initiated += 1
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit("txn.abort", txn=txn_id, reason=reason)
         for grantee, item_id, mode in self.lock_table.drop_queued(txn_id):
             self._grant(grantee, item_id, mode)
         self.send(client_id, AbortNotice(txn_id=txn_id, reason=reason),
@@ -261,6 +292,9 @@ class S2PLClient(ProtocolClient):
             self.send(self.server_id, release,
                       size=CONTROL_SIZE
                       + len(updates) * self.config.data_item_size)
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.round_charge(txn.txn_id, "release")
         elif txn.abort_reason == "client-crash":
             # The site fail-stopped: nothing is sent (the wire is severed
             # anyway); the server's crash sweep reclaims the locks.
@@ -270,15 +304,24 @@ class S2PLClient(ProtocolClient):
             # Roll back locally, then tell the server to release the locks.
             self.send(self.server_id, AbortRelease(txn_id=txn.txn_id),
                       size=CONTROL_SIZE)
+            tracer = getattr(self.sim, "tracer", None)
+            if tracer is not None:
+                tracer.round_charge(txn.txn_id, "release")
         return self.make_outcome(txn, start_time, end_time)
 
     def _run_ops(self, txn, updates, read_items):
+        tracer = getattr(self.sim, "tracer", None)
         try:
             for op in txn.spec.operations:
-                self.send(self.server_id,
-                          LockRequest(txn_id=txn.txn_id, item_id=op.item_id,
-                                      mode=op.mode, client_id=self.client_id),
-                          size=CONTROL_SIZE)
+                env = self.send(self.server_id,
+                                LockRequest(txn_id=txn.txn_id,
+                                            item_id=op.item_id,
+                                            mode=op.mode,
+                                            client_id=self.client_id),
+                                size=CONTROL_SIZE)
+                if tracer is not None:
+                    tracer.round_charge(txn.txn_id, "request")
+                    tracer.wire_charge(txn.txn_id, env)
                 requested_at = self.sim.now
                 event = self.sim.event()
                 self._grant_events[txn.txn_id] = event
@@ -288,6 +331,8 @@ class S2PLClient(ProtocolClient):
                     break
                 self.op_waits.append(self.sim.now - requested_at)
                 yield self.sim.timeout(op.think_time)
+                if tracer is not None:
+                    tracer.think_charge(txn.txn_id, op.think_time)
                 notice = self._abort_flags.pop(txn.txn_id, None)
                 if notice is not None:
                     txn.abort(notice.reason)

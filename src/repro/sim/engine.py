@@ -20,6 +20,11 @@ class Simulator:
         self._heap = []
         self._seq = count()
         self._event_count = 0
+        self._peak_heap = 0
+        #: optional :class:`~repro.obs.tracer.Tracer`; every instrumented
+        #: component reads it through its ``sim`` reference, so attaching
+        #: one here turns tracing on for the whole stack.
+        self.tracer = None
 
     @property
     def now(self):
@@ -30,6 +35,18 @@ class Simulator:
     def processed_events(self):
         """Total number of heap entries processed so far (for diagnostics)."""
         return self._event_count
+
+    @property
+    def peak_heap_depth(self):
+        """Deepest the event heap has been while processing (diagnostics)."""
+        return self._peak_heap
+
+    def _engine_hook(self):
+        """The per-dispatch tracer callback, or None (the common case)."""
+        tracer = self.tracer
+        if tracer is not None and tracer.engine_events:
+            return tracer.engine_dispatch
+        return None
 
     # -- event construction -------------------------------------------------
 
@@ -100,13 +117,19 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until {horizon} which is before now={self._now}")
         heap = self._heap
+        hook = self._engine_hook()
         while heap:
             when = heap[0][0]
             if when > horizon:
                 break
+            depth = len(heap)
+            if depth > self._peak_heap:
+                self._peak_heap = depth
             entry = heapq.heappop(heap)
             self._now = when
             self._event_count += 1
+            if hook is not None:
+                hook(when, depth)
             entry[2](*entry[3])
         if horizon != float("inf"):
             self._now = horizon
@@ -116,10 +139,16 @@ class Simulator:
         done = []
         event.add_callback(done.append)
         heap = self._heap
+        hook = self._engine_hook()
         while heap and not done:
+            depth = len(heap)
+            if depth > self._peak_heap:
+                self._peak_heap = depth
             when, _seq, fn, args = heapq.heappop(heap)
             self._now = when
             self._event_count += 1
+            if hook is not None:
+                hook(when, depth)
             fn(*args)
         if not done:
             raise SimulationError(
@@ -133,6 +162,9 @@ class Simulator:
         """Process a single heap entry; returns False if the heap is empty."""
         if not self._heap:
             return False
+        depth = len(self._heap)
+        if depth > self._peak_heap:
+            self._peak_heap = depth
         when, _seq, fn, args = heapq.heappop(self._heap)
         self._now = when
         self._event_count += 1

@@ -1,6 +1,7 @@
 """Per-run metrics collection with transient-phase elimination."""
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -12,8 +13,8 @@ class RunMetrics:
     warmup_discarded: int = 0
     response_times: list = field(default_factory=list)
     abort_reasons: dict = field(default_factory=dict)
-    first_measured_at: float = None
-    last_measured_at: float = None
+    first_measured_at: Optional[float] = None
+    last_measured_at: Optional[float] = None
 
     @property
     def finished(self):
@@ -24,6 +25,34 @@ class RunMetrics:
         if not self.response_times:
             return float("nan")
         return sum(self.response_times) / len(self.response_times)
+
+    def percentile(self, p):
+        """Linearly-interpolated ``p``-th percentile (0-100) of committed
+        response times; NaN when nothing committed."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        data = sorted(self.response_times)
+        if not data:
+            return float("nan")
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        low = int(rank)
+        high = min(low + 1, len(data) - 1)
+        fraction = rank - low
+        return data[low] + (data[high] - data[low]) * fraction
+
+    @property
+    def p50_response_time(self):
+        return self.percentile(50.0)
+
+    @property
+    def p95_response_time(self):
+        return self.percentile(95.0)
+
+    @property
+    def p99_response_time(self):
+        return self.percentile(99.0)
 
     @property
     def abort_percentage(self):
@@ -58,15 +87,33 @@ class MetricsCollector:
         self.warmup_transactions = warmup_transactions
         self.metrics = RunMetrics()
         self._seen = 0
+        self._warmup_ended_at = None
+
+    @property
+    def measuring(self):
+        """True once the warmup phase is over (the last recorded outcome
+        was a measured one)."""
+        return self._seen > self.warmup_transactions
 
     def record_outcome(self, outcome):
         self._seen += 1
         metrics = self.metrics
         if self._seen <= self.warmup_transactions:
             metrics.warmup_discarded += 1
+            # The warmup boundary is when the last transient transaction
+            # finished; the measurement window can only start there.
+            self._warmup_ended_at = outcome.end_time
             return
         if metrics.first_measured_at is None:
-            metrics.first_measured_at = outcome.start_time
+            # The first measured transaction usually *started* during the
+            # warmup phase; opening the throughput window at its start
+            # would stretch the window into the transient phase and
+            # understate throughput. Clamp to the warmup boundary.
+            start = outcome.start_time
+            if (self._warmup_ended_at is not None
+                    and start < self._warmup_ended_at):
+                start = self._warmup_ended_at
+            metrics.first_measured_at = start
         metrics.last_measured_at = outcome.end_time
         if outcome.committed:
             metrics.committed += 1

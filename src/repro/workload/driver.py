@@ -86,6 +86,7 @@ class ClientDriver:
         stagger_key = (self.client_id if stream == 0
                        else f"{self.client_id}.s{stream}")
         yield self.sim.timeout(self.generator.initial_stagger(stagger_key))
+        tracer = getattr(self.sim, "tracer", None)
         while not self.control.done:
             if self._crashed:
                 yield self._restart_event  # parks forever without a restart
@@ -93,6 +94,8 @@ class ClientDriver:
             spec = self.generator.next_spec(self.client_id)
             txn = Transaction(self.control.next_txn_id(), self.client_id,
                               spec, birth=self.sim.now)
+            if tracer is not None:
+                tracer.txn_begin(txn)
             proc = self.sim.spawn(self.protocol_client.execute(txn))
             self._live_execs.add(proc)
             try:
@@ -102,5 +105,10 @@ class ClientDriver:
             if self.control.done:
                 break  # the run closed while this transaction was in flight
             self.collector.record_outcome(outcome)
+            if tracer is not None:
+                # Warmup transactions are traced but excluded from trace
+                # aggregates, mirroring the metrics' transient elimination.
+                tracer.txn_finished(outcome,
+                                    measured=self.collector.measuring)
             self.control.transaction_finished()
             yield self.sim.timeout(self.generator.idle_time(self.client_id))

@@ -12,6 +12,8 @@ def test_quick_report_contains_every_figure_and_table():
         assert f"Figure {figure} " in report, figure
     assert "measured crossover" in report
     assert "improvement" in report
+    assert "Round accounting" in report
+    assert "2m+1" in report
 
 
 def test_quick_report_with_plots_renders_legends():

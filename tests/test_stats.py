@@ -66,6 +66,83 @@ class TestCollector:
         with pytest.raises(ValueError):
             MetricsCollector(-1)
 
+    def test_first_measured_at_clamped_to_warmup_boundary(self):
+        # Regression: the first measured transaction usually *started*
+        # during the warmup phase; opening the throughput window at its
+        # start time stretched the window into the transient phase and
+        # understated throughput.
+        c = MetricsCollector(warmup_transactions=1)
+        c.record_outcome(outcome(1, start=0.0, end=50.0))    # warmup
+        c.record_outcome(outcome(2, start=10.0, end=80.0))   # started early
+        c.record_outcome(outcome(3, start=60.0, end=100.0))
+        assert c.metrics.first_measured_at == 50.0
+        assert c.metrics.throughput == pytest.approx(2 / (100.0 - 50.0))
+
+    def test_first_measured_at_unclamped_when_started_after_warmup(self):
+        c = MetricsCollector(warmup_transactions=1)
+        c.record_outcome(outcome(1, start=0.0, end=50.0))
+        c.record_outcome(outcome(2, start=55.0, end=80.0))
+        assert c.metrics.first_measured_at == 55.0
+
+    def test_first_measured_at_without_warmup(self):
+        c = MetricsCollector(warmup_transactions=0)
+        c.record_outcome(outcome(1, start=3.0, end=10.0))
+        assert c.metrics.first_measured_at == 3.0
+
+    def test_measuring_property(self):
+        c = MetricsCollector(warmup_transactions=2)
+        assert not c.measuring
+        c.record_outcome(outcome(1))
+        c.record_outcome(outcome(2))
+        assert not c.measuring
+        c.record_outcome(outcome(3))
+        assert c.measuring
+
+
+class TestPercentiles:
+    def metrics_with(self, values):
+        c = MetricsCollector(0)
+        for index, value in enumerate(values):
+            c.record_outcome(outcome(index, start=0.0, end=value))
+        return c.metrics
+
+    def test_empty_is_nan(self):
+        m = self.metrics_with([])
+        assert math.isnan(m.percentile(50.0))
+        assert math.isnan(m.p50_response_time)
+
+    def test_single_sample(self):
+        m = self.metrics_with([7.0])
+        assert m.percentile(0.0) == 7.0
+        assert m.percentile(50.0) == 7.0
+        assert m.percentile(100.0) == 7.0
+
+    def test_median_interpolates(self):
+        m = self.metrics_with([1.0, 2.0, 3.0, 4.0])
+        assert m.percentile(50.0) == pytest.approx(2.5)
+
+    def test_endpoints(self):
+        m = self.metrics_with([5.0, 1.0, 3.0])
+        assert m.percentile(0.0) == 1.0
+        assert m.percentile(100.0) == 5.0
+
+    def test_p95_p99_on_uniform_grid(self):
+        m = self.metrics_with([float(i) for i in range(101)])
+        assert m.p50_response_time == pytest.approx(50.0)
+        assert m.p95_response_time == pytest.approx(95.0)
+        assert m.p99_response_time == pytest.approx(99.0)
+
+    def test_unsorted_input_is_sorted(self):
+        m = self.metrics_with([9.0, 1.0, 5.0, 3.0, 7.0])
+        assert m.percentile(50.0) == 5.0
+
+    def test_out_of_range_rejected(self):
+        m = self.metrics_with([1.0])
+        with pytest.raises(ValueError):
+            m.percentile(-1.0)
+        with pytest.raises(ValueError):
+            m.percentile(100.5)
+
 
 class TestTCritical:
     def test_tables_cover_every_dof_through_30(self):
