@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Run the kernel benchmark harness (thin wrapper over the CLI verb).
+
+Examples::
+
+    python scripts/bench.py --out BENCH_kernel.json
+    python scripts/bench.py --quick --baseline BENCH_kernel.json \
+        --tolerance 0.2 --normalize
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -73,11 +73,32 @@ def _config_from(args, protocol):
         record_history=False)
 
 
+def _profiled(args, label, work):
+    """Run ``work()`` under cProfile when ``--profile`` was given, writing
+    ``profile_<label>.pstats`` next to the other artifacts."""
+    if not getattr(args, "profile", False):
+        return work()
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return work()
+    finally:
+        profiler.disable()
+        path = f"profile_{label}.pstats"
+        profiler.dump_stats(path)
+        print(f"wrote {path} (inspect with python -m pstats {path})",
+              file=sys.stderr)
+
+
 def _cmd_run(args):
     if getattr(args, "jobs", 1) not in (None, 1):
         print("note: a single simulation always runs serially; "
               "--jobs applies to compare/figure sweeps", file=sys.stderr)
-    result = run_simulation(_config_from(args, args.protocol))
+    result = _profiled(args, args.protocol,
+                       lambda: run_simulation(_config_from(args,
+                                                           args.protocol)))
     print(result.summary())
     print(f"  duration: {result.duration:,.0f} time units, "
           f"throughput: {result.throughput:.5f} txn/unit")
@@ -96,9 +117,12 @@ def _cmd_run(args):
 
 def _cmd_compare(args):
     config = _config_from(args, "g2pl")
-    results = compare_protocols(config, tuple(args.protocols),
-                                replications=args.replications,
-                                jobs=args.jobs)
+    label = "-".join(args.protocols)
+    results = _profiled(
+        args, label,
+        lambda: compare_protocols(config, tuple(args.protocols),
+                                  replications=args.replications,
+                                  jobs=args.jobs))
     for name, result in results.items():
         print(f"  {name:10} {result.summary()}")
         if result.trace_summary is not None:
@@ -211,6 +235,35 @@ def _cmd_figure(args):
     return 0
 
 
+def _cmd_bench(args):
+    from repro.perf.bench import (
+        compare_benchmarks,
+        load_benchmark,
+        run_benchmarks,
+        write_benchmark,
+    )
+
+    def progress(name, done, total):
+        print(f"  {name}: repeat {done}/{total}", file=sys.stderr)
+
+    results = run_benchmarks(quick=args.quick, repeats=args.repeats,
+                             progress=progress if args.verbose else None)
+    for name, cell in results["cells"].items():
+        print(f"  {name:18} {cell['events_per_sec']:>12,.0f} ev/s  "
+              f"({cell['wall_seconds']:.3f}s, {cell['events']:,} events)")
+    if args.out:
+        write_benchmark(args.out, results)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        comparison = compare_benchmarks(
+            results, load_benchmark(args.baseline),
+            tolerance=args.tolerance, normalize=args.normalize)
+        print(comparison.describe())
+        if not comparison.ok:
+            return 1
+    return 0
+
+
 def _cmd_list(_args):
     print("protocols:", ", ".join(available_protocols()))
     print("figures: 1 (worked example), 2-4 (response vs latency), "
@@ -234,6 +287,9 @@ def build_parser():
     run_parser.add_argument("--verbose", "-v", action="store_true",
                             help="also print engine counters and "
                                  "response-time percentiles")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="wrap the run in cProfile and write "
+                                 "profile_<protocol>.pstats")
     _add_workload_args(run_parser)
     _add_jobs_arg(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -244,9 +300,40 @@ def build_parser():
                                 default=["s2pl", "g2pl"],
                                 choices=available_protocols())
     compare_parser.add_argument("--replications", type=int, default=2)
+    compare_parser.add_argument("--profile", action="store_true",
+                                help="wrap the comparison in cProfile and "
+                                     "write profile_<protocols>.pstats")
     _add_workload_args(compare_parser)
     _add_jobs_arg(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the kernel benchmark harness and write "
+                      "schema-versioned BENCH_kernel.json")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="short cells (CI smoke mode)")
+    bench_parser.add_argument("--repeats", type=int, default=None,
+                              metavar="N",
+                              help="timing repeats per cell; best-of-N "
+                                   "(default: 3, or 2 with --quick)")
+    bench_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="write results JSON here "
+                                   "(e.g. BENCH_kernel.json)")
+    bench_parser.add_argument("--baseline", default=None, metavar="PATH",
+                              help="compare against a previous results "
+                                   "file; exit 1 on regression")
+    bench_parser.add_argument("--tolerance", type=float, default=0.2,
+                              metavar="F",
+                              help="allowed fractional events/sec drop "
+                                   "vs the baseline (default 0.2)")
+    bench_parser.add_argument("--normalize", action="store_true",
+                              help="normalise ratios by the engine_churn "
+                                   "cell (cancels host speed; use when "
+                                   "the baseline came from another "
+                                   "machine)")
+    bench_parser.add_argument("--verbose", "-v", action="store_true",
+                              help="print per-repeat progress")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     figure_parser = sub.add_parser("figure",
                                    help="regenerate a paper figure")

@@ -76,7 +76,8 @@ class SimulationResult:
         rate = stats.get("events_per_sec", 0.0)
         return (f"engine: {stats.get('processed_events', 0):,} events, "
                 f"peak heap depth {stats.get('peak_heap_depth', 0):,}, "
-                f"{rate:,.0f} events/sec wall-clock")
+                f"{stats.get('cancelled_events', 0):,} cancelled-timer "
+                f"skips, {rate:,.0f} events/sec wall-clock")
 
 
 def _validate_faults(config, injector):
@@ -226,6 +227,7 @@ def run_simulation(config, seed=None, check_serializability=None):
     engine_stats = {
         "processed_events": sim.processed_events,
         "peak_heap_depth": sim.peak_heap_depth,
+        "cancelled_events": sim.cancelled_events,
         "wall_seconds": wall_seconds,
         "events_per_sec": (sim.processed_events / wall_seconds
                            if wall_seconds > 0 else 0.0),

@@ -1,17 +1,14 @@
 """The message envelope carried by the transport."""
 
-from dataclasses import dataclass, field
+from itertools import count
 
-
-_envelope_counter = [0]
+_envelope_ids = count(1)
 
 
 def _next_envelope_id():
-    _envelope_counter[0] += 1
-    return _envelope_counter[0]
+    return next(_envelope_ids)
 
 
-@dataclass
 class Envelope:
     """A payload in flight between two sites.
 
@@ -19,17 +16,34 @@ class Envelope:
     it only feeds the traffic statistics, with a finite bandwidth it adds
     ``size / bandwidth`` of transmission time on top of the propagation
     latency (§2 of the paper: the two delay components).
+
+    Slotted, hand-rolled class rather than a dataclass: one envelope is
+    allocated per send, which makes construction cost and per-instance
+    memory part of the kernel's hot path.
     """
 
-    src: int
-    dst: int
-    payload: object
-    size: float = 1.0
-    send_time: float = 0.0
-    deliver_time: float = 0.0
-    envelope_id: int = field(default_factory=_next_envelope_id)
+    __slots__ = ("src", "dst", "payload", "size", "send_time",
+                 "deliver_time", "envelope_id")
+
+    def __init__(self, src, dst, payload, size=1.0, send_time=0.0,
+                 deliver_time=0.0, envelope_id=None):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.send_time = send_time
+        self.deliver_time = deliver_time
+        self.envelope_id = (next(_envelope_ids) if envelope_id is None
+                            else envelope_id)
 
     @property
     def in_flight_time(self):
         """Total time the envelope spent on the wire."""
         return self.deliver_time - self.send_time
+
+    def __repr__(self):
+        return (f"Envelope(src={self.src!r}, dst={self.dst!r}, "
+                f"payload={self.payload!r}, size={self.size!r}, "
+                f"send_time={self.send_time!r}, "
+                f"deliver_time={self.deliver_time!r}, "
+                f"envelope_id={self.envelope_id!r})")

@@ -76,7 +76,7 @@ class ReliableLink:
             if key not in self._pending:
                 return  # acked (or sender crashed) while the timer was armed
             self.retransmissions += 1
-            tracer = getattr(self.sim, "tracer", None)
+            tracer = self.sim.tracer
             if tracer is not None:
                 tracer.net_retransmit(self.site.site_id, dst)
         self._raw_send(dst, wrapped, size)
@@ -107,7 +107,7 @@ class ReliableLink:
             tag = (payload.incarnation, payload.seq)
             if tag in seen:
                 self.duplicates_suppressed += 1
-                tracer = getattr(self.sim, "tracer", None)
+                tracer = self.sim.tracer
                 if tracer is not None:
                     tracer.net_dup_suppressed(self.site.site_id,
                                               envelope.src)

@@ -1,15 +1,49 @@
-"""Message transport: delivery scheduling and traffic accounting."""
+"""Message transport: delivery scheduling and traffic accounting.
+
+``Network.send`` is on the kernel's hot path (one call per protocol
+message), so the transport is built fast-path style:
+
+* the send implementation is **selected once per run** — plain, traced,
+  or faulted — and bound directly as the instance's ``send`` attribute,
+  so per-message code never re-checks ``sim.tracer`` or ``faults``
+  (:meth:`Network.refresh_fast_path` re-selects; the tracer's
+  ``bind_network`` calls it when tracing attaches after construction);
+* per-(src, dst) link latency is **memoised** in a flat dict — the
+  topology object is consulted once per pair, not once per message —
+  with the bandwidth term's reciprocal-free division kept bit-identical
+  to the unmemoised arithmetic;
+* payload traffic classes are cached per payload *type* instead of
+  re-deriving ``type(...).__name__`` (plus wrapper unwrapping) per send.
+
+All fast paths produce byte-identical trajectories to the original
+single-path implementation: same envelope fields, same heap timestamps
+(including the ``now + (deliver - now)`` float quirk of the original
+relative scheduling), same FIFO clamping, same stats.
+"""
 
 from dataclasses import dataclass, field
 
 from repro.network.message import Envelope
 
+#: payload class -> traffic-class name, or _WRAPPER for classes carrying
+#: an ``inner`` payload (reliable-channel framing) that must be unwrapped
+#: per message.  Keyed by type, so the cache is stable across runs.
+_WRAPPER = object()
+_KIND_BY_CLASS = {}
+
 
 def payload_kind(payload):
     """Traffic class of a payload. Reliable-channel wrappers are
     transparent: the protocol mix matters, not the framing."""
-    inner = getattr(payload, "inner", None)
-    return type(payload if inner is None else inner).__name__
+    cls = payload.__class__
+    kind = _KIND_BY_CLASS.get(cls)
+    if kind is None:
+        kind = _WRAPPER if hasattr(payload, "inner") else cls.__name__
+        _KIND_BY_CLASS[cls] = kind
+    if kind is _WRAPPER:
+        inner = payload.inner
+        return cls.__name__ if inner is None else inner.__class__.__name__
+    return kind
 
 
 @dataclass
@@ -52,6 +86,47 @@ class Network:
         self.stats = NetworkStats()
         self._sites = {}
         self._last_deliver = {}  # (src, dst) -> last scheduled delivery time
+        self._latency_cache = {}  # (src, dst) -> topology latency
+        self._tracer = None
+        self.refresh_fast_path()
+
+    def refresh_fast_path(self):
+        """Re-select the per-run send/deliver implementations.
+
+        Called at construction and whenever the run's observers change
+        (:meth:`~repro.obs.tracer.Tracer.bind_network` attaches a tracer).
+        The chosen implementation is bound straight onto the instance, so
+        dispatching a send is a single attribute load — no per-message
+        tracer or faults checks.
+        """
+        tracer = self._tracer = self.sim.tracer
+        if self.faults is not None:
+            self.send = self._send_faulted
+        elif tracer is not None:
+            self.send = self._send_traced
+        else:
+            self.send = self._send_plain
+        self._deliver_impl = (self._deliver_plain if tracer is None
+                              else self._deliver_traced)
+
+    # -- delay model ---------------------------------------------------------
+
+    def _base_latency(self, src, dst):
+        cache = self._latency_cache
+        key = (src, dst)
+        latency = cache.get(key)
+        if latency is None:
+            latency = cache[key] = self.topology.latency(src, dst)
+        return latency
+
+    def delay(self, src, dst, size=1.0):
+        """Total wire delay for a message of ``size`` between two sites."""
+        latency = self._base_latency(src, dst)
+        if self.bandwidth is not None:
+            latency += size / self.bandwidth
+        return latency
+
+    # -- site registry -------------------------------------------------------
 
     def add_site(self, site):
         """Register a site; its ``site_id`` must be unique."""
@@ -70,12 +145,11 @@ class Network:
         """All registered sites (read-only view)."""
         return dict(self._sites)
 
-    def delay(self, src, dst, size=1.0):
-        """Total wire delay for a message of ``size`` between two sites."""
-        latency = self.topology.latency(src, dst)
-        if self.bandwidth is not None:
-            latency += size / self.bandwidth
-        return latency
+    # -- send fast paths -----------------------------------------------------
+    #
+    # ``send`` is assigned per instance by refresh_fast_path; the class
+    # attribute below only provides the documented signature (and handles
+    # the pathological case of a send before __init__ finished).
 
     def send(self, src, dst, payload, size=1.0):
         """Ship ``payload`` from ``src`` to ``dst``; returns the envelope.
@@ -88,38 +162,106 @@ class Network:
         earlier large one whenever finite ``bandwidth`` (or jitter) makes
         the delay size-dependent.
         """
-        if dst not in self._sites:
+        self.refresh_fast_path()
+        return self.send(src, dst, payload, size=size)
+
+    def _send_plain(self, src, dst, payload, size=1.0):
+        """Fast path: no tracer, no faults — the common benchmark cell."""
+        sites = self._sites
+        if dst not in sites:
             raise KeyError(f"unknown destination site {dst!r}")
-        if src not in self._sites:
+        if src not in sites:
             raise KeyError(f"unknown source site {src!r}")
-        now = self.sim.now
-        envelope = Envelope(src=src, dst=dst, payload=payload, size=size,
-                            send_time=now)
-        self.stats.record(envelope)
-        tracer = getattr(self.sim, "tracer", None)
-        base_delay = self.delay(src, dst, size)
-        if self.faults is None:
-            envelope.deliver_time = self._schedule_delivery(
-                envelope, now + base_delay)
-            if tracer is not None:
-                tracer.net_scheduled(envelope)
-                tracer.net_send(envelope, payload_kind(payload))
-            return envelope
-        fstats = self.faults.stats
+        sim = self.sim
+        now = sim._now
+        envelope = Envelope(src, dst, payload, size, now)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.data_units_sent += size
+        kind = payload_kind(payload)
+        per_type = stats.per_type
+        per_type[kind] = per_type.get(kind, 0) + 1
+        latency_cache = self._latency_cache
+        key = (src, dst)
+        latency = latency_cache.get(key)
+        if latency is None:
+            latency = latency_cache[key] = self.topology.latency(src, dst)
+        if self.bandwidth is not None:
+            latency = latency + size / self.bandwidth
+        deliver = now + latency
+        last = self._last_deliver
+        prev = last.get(key)
+        if prev is not None and prev > deliver:
+            deliver = prev
+        last[key] = deliver
+        # now + (deliver - now): the exact float the original relative
+        # call_later produced; scheduling at `deliver` directly could move
+        # the heap timestamp by one ulp and reorder ties.
+        sim.schedule_at(now + (deliver - now), self._deliver_impl, envelope)
+        envelope.deliver_time = deliver
+        return envelope
+
+    def _send_traced(self, src, dst, payload, size=1.0):
+        """Tracer attached, no faults."""
+        envelope = self._send_plain(src, dst, payload, size)
+        tracer = self._tracer
+        tracer.net_scheduled(envelope)
+        tracer.net_send(envelope, payload_kind(payload))
+        return envelope
+
+    def _send_faulted(self, src, dst, payload, size=1.0):
+        """Fault injector consulted per send; tracer optional."""
+        sites = self._sites
+        if dst not in sites:
+            raise KeyError(f"unknown destination site {dst!r}")
+        if src not in sites:
+            raise KeyError(f"unknown source site {src!r}")
+        sim = self.sim
+        now = sim._now
+        envelope = Envelope(src, dst, payload, size, now)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.data_units_sent += size
+        kind = payload_kind(payload)
+        per_type = stats.per_type
+        per_type[kind] = per_type.get(kind, 0) + 1
+        tracer = self._tracer
+        latency_cache = self._latency_cache
+        key = (src, dst)
+        base_delay = latency_cache.get(key)
+        if base_delay is None:
+            base_delay = latency_cache[key] = self.topology.latency(src, dst)
+        if self.bandwidth is not None:
+            base_delay = base_delay + size / self.bandwidth
+        faults = self.faults
+        fstats = faults.stats
         if tracer is not None:
             pre_loss = fstats.dropped_loss
             pre_partition = fstats.dropped_partition
             pre_dup = fstats.duplicated
+        last = self._last_deliver
+        severed_by_crash = faults.severed_by_crash
         first = None
-        for extra in self.faults.plan_delays(src, dst, now):
-            deliver = self._fifo_clamp(src, dst, now + base_delay + extra)
-            if self.faults.severed_by_crash(src, dst, now, deliver):
+        for extra in faults.plan_delays(src, dst, now):
+            deliver = now + base_delay + extra
+            prev = last.get(key)
+            if prev is not None and prev > deliver:
+                deliver = prev
+            if severed_by_crash(src, dst, now, deliver):
                 fstats.dropped_crash += 1
                 if tracer is not None:
                     tracer.net_dropped(envelope, "crash")
                 continue
             fstats.delivered += 1
-            deliver = self._schedule_delivery(envelope, deliver)
+            # Clamp again against our own earlier copies (a duplicate with
+            # less jitter must not overtake the first copy), then schedule
+            # with the exact float the original relative call_later built.
+            prev = last.get(key)
+            if prev is not None and prev > deliver:
+                deliver = prev
+            last[key] = deliver
+            sim.schedule_at(now + (deliver - now), self._deliver_impl,
+                            envelope)
             if tracer is not None:
                 tracer.net_scheduled(envelope)
             if first is None:
@@ -137,22 +279,15 @@ class Network:
             tracer.net_send(envelope, payload_kind(payload))
         return envelope
 
-    def _fifo_clamp(self, src, dst, deliver_time):
-        last = self._last_deliver.get((src, dst))
-        if last is not None and last > deliver_time:
-            return last
-        return deliver_time
+    # -- delivery ------------------------------------------------------------
 
-    def _schedule_delivery(self, envelope, deliver_time):
-        deliver_time = self._fifo_clamp(envelope.src, envelope.dst,
-                                        deliver_time)
-        self._last_deliver[(envelope.src, envelope.dst)] = deliver_time
-        self.sim.call_later(deliver_time - self.sim.now,
-                            self._deliver, envelope)
-        return deliver_time
+    def _deliver_plain(self, envelope):
+        self._sites[envelope.dst].receive(envelope)
+
+    def _deliver_traced(self, envelope):
+        self._tracer.net_delivered(envelope)
+        self._sites[envelope.dst].receive(envelope)
 
     def _deliver(self, envelope):
-        tracer = getattr(self.sim, "tracer", None)
-        if tracer is not None:
-            tracer.net_delivered(envelope)
-        self._sites[envelope.dst].receive(envelope)
+        # Back-compat alias for the pre-fast-path entry point.
+        self._deliver_impl(envelope)

@@ -1,0 +1,37 @@
+"""Continuous performance benchmarking (``repro.perf``).
+
+Two jobs:
+
+* :mod:`repro.perf.bench` — the micro/macro benchmark harness behind
+  ``repro-experiment bench`` and ``scripts/bench.py``.  It runs a fixed
+  set of simulation cells, measures wall time and events/sec, and writes
+  a schema-versioned ``BENCH_kernel.json`` so every PR leaves a perf
+  trajectory behind.
+* :mod:`repro.perf.fingerprint` — canonical, bit-exact fingerprints of
+  simulation results.  The bench harness embeds them so a perf run
+  doubles as a determinism check, and the fast-path replay tests compare
+  them against committed goldens.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
+    bench_cells,
+    compare_benchmarks,
+    load_benchmark,
+    run_benchmarks,
+    write_benchmark,
+)
+from repro.perf.fingerprint import result_fingerprint, fingerprint_digest
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCell",
+    "bench_cells",
+    "compare_benchmarks",
+    "load_benchmark",
+    "run_benchmarks",
+    "write_benchmark",
+    "result_fingerprint",
+    "fingerprint_digest",
+]

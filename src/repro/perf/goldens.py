@@ -1,0 +1,70 @@
+"""The fast-path replay golden cells (shared by tests and the refresh
+script).
+
+Each golden pins the canonical fingerprint (see
+:mod:`repro.perf.fingerprint`) of one small but representative run:
+plain, traced, and faulted cells for both protocols. They were captured
+on the pre-fast-path kernel; every kernel optimization since must
+reproduce them byte for byte, serially and under the process pool,
+which is what :mod:`tests.test_fastpath_replay` asserts.
+
+Only regenerate them (``scripts/refresh_goldens.py``) when a change
+*intentionally* alters trajectories — never to paper over an unexplained
+diff from a "pure" performance change.
+"""
+
+import json
+import os
+
+from repro.core.config import SimulationConfig
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))),
+    "tests", "golden")
+
+FAULTS = "loss=0.05,dup=0.02,jitter=20,crash=2@2000:4000"
+
+#: name -> (config kwargs, seed).  Small cells: the whole set must stay
+#: cheap enough to replay in the tier-1 suite at jobs=1 *and* jobs=4.
+GOLDEN_CELLS = {
+    "g2pl_plain": (dict(
+        protocol="g2pl", n_clients=6, n_items=8, read_probability=0.6,
+        network_latency=100.0, total_transactions=120,
+        warmup_transactions=20, record_history=False), 11),
+    "s2pl_plain": (dict(
+        protocol="s2pl", n_clients=6, n_items=8, read_probability=0.6,
+        network_latency=100.0, total_transactions=120,
+        warmup_transactions=20, record_history=False), 11),
+    "g2pl_faulted": (dict(
+        protocol="g2pl", n_clients=5, n_items=6, read_probability=0.6,
+        network_latency=100.0, total_transactions=100,
+        warmup_transactions=15, faults=FAULTS,
+        record_history=False), 7),
+    "s2pl_faulted_traced": (dict(
+        protocol="s2pl", n_clients=5, n_items=6, read_probability=0.6,
+        network_latency=100.0, total_transactions=100,
+        warmup_transactions=15, faults=FAULTS, trace=True,
+        record_history=False), 7),
+    "g2pl_traced": (dict(
+        protocol="g2pl", n_clients=6, n_items=8, read_probability=0.6,
+        network_latency=100.0, total_transactions=120,
+        warmup_transactions=20, trace=True, probe_interval=150.0,
+        record_history=False), 11),
+}
+
+
+def golden_config(name):
+    """``(SimulationConfig, seed)`` for golden cell ``name``."""
+    kwargs, seed = GOLDEN_CELLS[name]
+    return SimulationConfig(**kwargs), seed
+
+
+def golden_path(name):
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def load_golden(name):
+    """The committed golden payload for ``name`` (dict)."""
+    with open(golden_path(name), "r", encoding="utf-8") as handle:
+        return json.load(handle)

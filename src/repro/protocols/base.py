@@ -36,10 +36,18 @@ class _Dispatcher(Site):
     def send(self, dst, payload, size=1.0):
         if self.reliable is not None:
             return self.reliable.send(dst, payload, size=size)
-        return super().send(dst, payload, size=size)
+        network = self.network
+        if network is None:
+            raise RuntimeError(
+                f"site {self.site_id} is not attached to a network")
+        return network.send(self.site_id, dst, payload, size=size)
 
     def receive(self, envelope):
-        payload = self._unwrap(envelope)
+        reliable = self.reliable
+        if reliable is None:
+            self._dispatch(envelope.payload)
+            return
+        payload = reliable.on_receive(envelope)
         if payload is not None:
             self._dispatch(payload)
 
@@ -49,7 +57,10 @@ class _Dispatcher(Site):
         return self.reliable.on_receive(envelope)
 
     def _dispatch(self, payload):
-        self._handler_for(payload)(payload)
+        handler = self._handlers.get(payload.__class__)
+        if handler is None:
+            handler = self._handler_for(payload)
+        handler(payload)
 
 
 class ProtocolServer(_Dispatcher):
@@ -82,10 +93,13 @@ class ProtocolServer(_Dispatcher):
         # handled in receive() and costs no server CPU.
         cost = self.config.server_processing_time
         if cost <= 0.0:
-            self._handler_for(payload)(payload)
+            handler = self._handlers.get(payload.__class__)
+            if handler is None:
+                handler = self._handler_for(payload)
+            handler(payload)
             return
         start = max(self.sim.now, self._cpu_free_at)
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             # CPU wait + service both count as server queueing for the
             # transaction named by the message (if any).

@@ -78,7 +78,7 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
     co-readers and the writer their release must go to. Under MR1W the
     writer after a read group is shipped concurrently.
     """
-    tracer = getattr(sender.sim, "tracer", None)
+    tracer = sender.sim.tracer
     # Only the server's initial ship of a chain is a *grant* round; a
     # forwarding client's ship is the tail of its own handoff round
     # (charged in _forward) — that merge is the point of the protocol.
@@ -228,7 +228,7 @@ class G2PLServer(ProtocolServer):
             entry = self._txns[txn_id] = _TxnEntry(msg.client_id, self.sim.now)
         info = self._items[msg.item_id]
         ref = TxnRef(txn_id=txn_id, client_id=entry.client_id)
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("lock.request", txn=txn_id, item=msg.item_id,
                         mode=msg.mode.name, client=msg.client_id)
@@ -237,10 +237,11 @@ class G2PLServer(ProtocolServer):
         # new request. If any such edge closes a cycle, the conflicting
         # order is frozen elsewhere: unavoidable deadlock, abort.
         live_chain = [t for t in info.chain_live if t != txn_id]
-        for chain_txn in live_chain:
-            if self.precedence.would_cycle(chain_txn, txn_id):
-                self._abort(txn_id, reason="precedence-cycle")
-                return
+        # would_cycle(chain_txn, txn_id) for each member is reaches(txn_id,
+        # chain_txn); one DFS over the member set answers them all.
+        if live_chain and self.precedence.reaches_any(txn_id, live_chain):
+            self._abort(txn_id, reason="precedence-cycle")
+            return
 
         if (self.config.expand_read_groups
                 and not info.at_server
@@ -250,8 +251,11 @@ class G2PLServer(ProtocolServer):
                 and self._try_graft_reader(info, ref)):
             return
 
+        # Safe unchecked: the reaches_any guard above proved txn_id reaches
+        # no chain member, and edges *into* txn_id cannot change that.
+        add_edge = self.precedence.add_edge_unchecked
         for chain_txn in live_chain:
-            self.precedence.add_edge(chain_txn, txn_id)
+            add_edge(chain_txn, txn_id)
         info.window.append(
             _WindowRequest(ref=ref, mode=msg.mode, arrival=self.sim.now))
         if tracer is not None:
@@ -313,7 +317,7 @@ class G2PLServer(ProtocolServer):
                     self._install_returned(item_id, version, value)
         env = self.send(msg.client_id, ChainCommitAck(txn_id=msg.txn_id),
                         size=CONTROL_SIZE)
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("chain.commit", txn=msg.txn_id)
             tracer.round_charge(msg.txn_id, "commit_ack")
@@ -339,7 +343,7 @@ class G2PLServer(ProtocolServer):
             return
         self.watchdog_fires += 1
         info.watchdog_attempt += 1
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("fl.watchdog", item=item_id,
                         attempt=info.watchdog_attempt)
@@ -375,7 +379,7 @@ class G2PLServer(ProtocolServer):
             # stranded). Recover from the store copy — ChainCommit gating
             # makes it at least as new as any copy the chain ever held.
             self.chain_repairs += 1
-            tracer = getattr(self.sim, "tracer", None)
+            tracer = self.sim.tracer
             if tracer is not None:
                 tracer.emit("fl.repair", item=item_id,
                             action="store-recovery")
@@ -393,7 +397,7 @@ class G2PLServer(ProtocolServer):
             self._arm_watchdog(info)
             return
         self.chain_repairs += 1
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("fl.repair", item=item_id, action="route-around",
                         crashed=len(crashed))
@@ -459,7 +463,7 @@ class G2PLServer(ProtocolServer):
     def _item_home(self, info):
         """The chain is fully accounted for: install and open the window."""
         item_id = info.item_id
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("fl.home", item=item_id)
         for ref in info.chain_all:
@@ -519,7 +523,7 @@ class G2PLServer(ProtocolServer):
         else:
             self.avoidance_aborts += 1
         self.aborts_initiated += 1
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("txn.abort", txn=txn_id, reason=reason)
         expect = tuple(sorted(entry.chain_items))
@@ -558,7 +562,7 @@ class G2PLServer(ProtocolServer):
                               group=(ref.txn_id,), release_to=None,
                               epoch=info.epoch),
                         size=self.data_ship_size(fl=solo))
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("fl.graft", txn=ref.txn_id, item=info.item_id)
             tracer.round_charge(ref.txn_id, "grant")
@@ -599,16 +603,20 @@ class G2PLServer(ProtocolServer):
 
         # Chain-order edges: every earlier entry precedes every later entry
         # (all pairs, so the constraint survives intermediate terminations).
+        # Safe unchecked: both loops chain edges along the linear-extension
+        # order (selected entries in order, then selected -> leftover), and
+        # edges along a linear extension of reachability cannot cycle.
         entries = fl.entries
+        add_edge = self.precedence.add_edge_unchecked
         for i in range(len(entries)):
             for j in range(i + 1, len(entries)):
                 for src in entries[i].txns:
                     for dst in entries[j].txns:
-                        self.precedence.add_edge(src.txn_id, dst.txn_id)
+                        add_edge(src.txn_id, dst.txn_id)
         # Fixed edges to the leftovers that will follow this chain.
         for w in info.window:
             for s in selected:
-                self.precedence.add_edge(s.ref.txn_id, w.ref.txn_id)
+                add_edge(s.ref.txn_id, w.ref.txn_id)
 
         info.at_server = False
         info.chain_all = [w.ref for w in selected]
@@ -633,7 +641,7 @@ class G2PLServer(ProtocolServer):
 
         self.windows_dispatched += 1
         self.fl_lengths.append(fl.txn_count())
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             # The window that collected while the item was away freezes
             # into this FL; a new one opens (carrying any capped leftover)
@@ -914,7 +922,7 @@ class G2PLClient(ProtocolClient):
             out_version = hold.version
             out_value = hold.value
         fl = hold.fl_tail
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         forwarded_to_client = False
         successor = None
         if hold.mode is LockMode.READ:
@@ -1033,7 +1041,7 @@ class G2PLClient(ProtocolClient):
         return self.make_outcome(txn, start_time, end_time)
 
     def _run_ops(self, txn):
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         try:
             for op in txn.spec.operations:
                 env = self.send(self.server_id,
@@ -1106,7 +1114,7 @@ class G2PLClient(ProtocolClient):
                                       client_id=self.client_id,
                                       writes=writes,
                                       commit_time=self.sim.now))
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.round_charge(txn.txn_id, "commit")
         try:

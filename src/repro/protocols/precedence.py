@@ -51,17 +51,27 @@ class PrecedenceGraph:
         return set(self._in.get(node, ()))
 
     def reaches(self, src, dst):
-        """Is there a directed path from ``src`` to ``dst``? (src != dst)"""
+        """Is there a directed path from ``src`` to ``dst``? (src != dst)
+
+        Hot path: consulted for every cycle check the protocols make.
+        Every node named in an edge set is a key of ``_out`` (``add_edge``
+        registers both endpoints, ``remove_node`` scrubs edge sets), so the
+        walk can index the adjacency dict directly.
+        """
         if src == dst:
             return True
         out = self._out
-        if src not in out or dst not in out:
+        if dst not in out:
             return False
-        stack = [src]
-        seen = {src}
+        edges = out.get(src)
+        if not edges:
+            return False
+        if dst in edges:
+            return True
+        stack = list(edges)
+        seen = set(edges)
         while stack:
-            node = stack.pop()
-            for nxt in out.get(node, ()):
+            for nxt in out[stack.pop()]:
                 if nxt == dst:
                     return True
                 if nxt not in seen:
@@ -73,21 +83,84 @@ class PrecedenceGraph:
         """Would adding ``src -> dst`` close a cycle?"""
         return src == dst or self.reaches(dst, src)
 
+    def reaches_any(self, src, targets):
+        """Is any member of ``targets`` reachable from ``src``?
+
+        One DFS for the whole target set — equivalent to
+        ``any(self.reaches(src, t) for t in targets)`` but without
+        restarting the walk per target. ``src`` itself does not count as
+        reached (a DAG has no path from a node back to itself).
+        """
+        out = self._out
+        edges = out.get(src)
+        if not edges:
+            return False
+        targets = set(targets)
+        targets.discard(src)
+        if not targets:
+            return False
+        if not targets.isdisjoint(edges):
+            return True
+        stack = list(edges)
+        seen = set(edges)
+        while stack:
+            for nxt in out[stack.pop()]:
+                if nxt in targets:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
     def add_edge(self, src, dst):
         """Insert ``src -> dst``; raises :class:`CycleError` if it cycles.
 
-        Idempotent for existing edges.
+        Idempotent for existing edges. Nothing is mutated when the edge is
+        refused. Node registration is inlined (this is called for every
+        pair of a dispatched chain).
         """
         if src == dst:
             raise CycleError(src, dst)
-        if dst in self._out.get(src, ()):
+        out = self._out
+        edges = out.get(src)
+        if edges is not None and dst in edges:
             return
         if self.reaches(dst, src):
             raise CycleError(src, dst)
-        self.add_node(src)
-        self.add_node(dst)
-        self._out[src].add(dst)
-        self._in[dst].add(src)
+        inn = self._in
+        if edges is None:
+            edges = out[src] = set()
+            inn[src] = set()
+        if dst in out:
+            inn[dst].add(src)
+        else:
+            out[dst] = set()
+            inn[dst] = {src}
+        edges.add(dst)
+
+    def add_edge_unchecked(self, src, dst):
+        """Insert ``src -> dst`` *without* the cycle check.
+
+        Only for callers that can prove acyclicity from context — edges
+        chained along a :meth:`linear_extension` order, or edges into a
+        node already known (via :meth:`reaches_any`) not to reach any of
+        the sources. Same mutation as :meth:`add_edge`; skipping the
+        reachability DFS is the entire point (it dominates dispatch cost
+        on long chains). :meth:`find_any_cycle` remains the safety net.
+        """
+        out = self._out
+        edges = out.get(src)
+        if edges is None:
+            edges = out[src] = set()
+            self._in[src] = set()
+        elif dst in edges:
+            return
+        if dst in out:
+            self._in[dst].add(src)
+        else:
+            out[dst] = set()
+            self._in[dst] = {src}
+        edges.add(dst)
 
     def remove_node(self, node):
         """Drop a terminated transaction and all its edges."""
@@ -109,15 +182,38 @@ class PrecedenceGraph:
         if key is None:
             rank = {node: i for i, node in enumerate(nodes)}
             key = rank.__getitem__
+        # One DFS per node instead of one per ordered pair: the subset of
+        # ``nodes`` reachable from each node induces exactly the partial
+        # order the pairwise reaches() queries would (reachability is a
+        # property of the graph, not of the query order).
+        out = self._out
+        node_set = set(nodes)
+        reach = {}
+        for u in nodes:
+            found = reach[u] = set()
+            edges = out.get(u)
+            if not edges:
+                continue
+            stack = list(edges)
+            seen = set(edges)
+            while stack:
+                node = stack.pop()
+                if node in node_set:
+                    found.add(node)
+                for nxt in out[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
         # Induced edges among the subset (transitive reachability).
         out_edges = {node: set() for node in nodes}
         in_degree = {node: 0 for node in nodes}
         for i, u in enumerate(nodes):
+            reach_u = reach[u]
             for v in nodes[i + 1:]:
-                if self.reaches(u, v):
+                if v in reach_u:
                     out_edges[u].add(v)
                     in_degree[v] += 1
-                elif self.reaches(v, u):
+                elif u in reach[v]:
                     out_edges[v].add(u)
                     in_degree[u] += 1
         ready = sorted((n for n in nodes if in_degree[n] == 0), key=key)

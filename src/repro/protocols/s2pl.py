@@ -68,7 +68,7 @@ class S2PLServer(ProtocolServer):
         crashed = [txn_id for txn_id, (client_id, _) in self._txns.items()
                    if self._injector.is_crashed(client_id, now)]
         if crashed:
-            tracer = getattr(self.sim, "tracer", None)
+            tracer = self.sim.tracer
             if tracer is not None:
                 tracer.emit("crash.sweep", reclaimed=len(crashed))
         # Two passes: first drop every crashed txn's queued requests so a
@@ -91,7 +91,7 @@ class S2PLServer(ProtocolServer):
             return  # request from a transaction this server already aborted
         if msg.txn_id not in self._txns:
             self._txns[msg.txn_id] = (self._client_of(msg), self.sim.now)
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("lock.request", txn=msg.txn_id, item=msg.item_id,
                         mode=msg.mode.name, client=msg.client_id)
@@ -144,7 +144,7 @@ class S2PLServer(ProtocolServer):
     def _finish(self, txn_id):
         self._txns.pop(txn_id, None)
         granted = self.lock_table.release_all(txn_id)
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("lock.release", txn=txn_id, granted=len(granted))
         for grantee, item_id, mode in granted:
@@ -163,7 +163,7 @@ class S2PLServer(ProtocolServer):
                                  version=item.version, value=item.value,
                                  mode=mode),
                         size=self.data_ship_size())
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("lock.grant", txn=txn_id, item=item_id,
                         mode=mode.name)
@@ -191,7 +191,7 @@ class S2PLServer(ProtocolServer):
                 return
             self.deadlocks_found += 1
             victim = self._choose_victim(cycle)
-            tracer = getattr(self.sim, "tracer", None)
+            tracer = self.sim.tracer
             if tracer is not None:
                 tracer.emit("lock.deadlock", requester=requester,
                             victim=victim, cycle=len(set(cycle)))
@@ -221,7 +221,7 @@ class S2PLServer(ProtocolServer):
         client_id, _ = self._txns[txn_id]
         self._dead.add(txn_id)
         self.aborts_initiated += 1
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("txn.abort", txn=txn_id, reason=reason)
         for grantee, item_id, mode in self.lock_table.drop_queued(txn_id):
@@ -292,7 +292,7 @@ class S2PLClient(ProtocolClient):
             self.send(self.server_id, release,
                       size=CONTROL_SIZE
                       + len(updates) * self.config.data_item_size)
-            tracer = getattr(self.sim, "tracer", None)
+            tracer = self.sim.tracer
             if tracer is not None:
                 tracer.round_charge(txn.txn_id, "release")
         elif txn.abort_reason == "client-crash":
@@ -304,13 +304,13 @@ class S2PLClient(ProtocolClient):
             # Roll back locally, then tell the server to release the locks.
             self.send(self.server_id, AbortRelease(txn_id=txn.txn_id),
                       size=CONTROL_SIZE)
-            tracer = getattr(self.sim, "tracer", None)
+            tracer = self.sim.tracer
             if tracer is not None:
                 tracer.round_charge(txn.txn_id, "release")
         return self.make_outcome(txn, start_time, end_time)
 
     def _run_ops(self, txn, updates, read_items):
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         try:
             for op in txn.spec.operations:
                 env = self.send(self.server_id,

@@ -1,4 +1,23 @@
-"""The simulator: clock, event heap, and run loop."""
+"""The simulator: clock, event heap, and run loop.
+
+The run loop is the hottest code in the repository — every message
+delivery, timeout, and process resumption passes through it — so it is
+written fast-path style: heap and counters are bound to locals for the
+duration of a run (written back on exit, including on error), the tracer
+hook is resolved once per run instead of per dispatch, and heap entries
+are dispatched straight from the popped tuple without re-packing.
+
+Heap entries are ``(when, seq, callback, args)`` tuples; cancellable
+entries (armed by :meth:`Simulator.call_later_cancellable`, used by
+:class:`~repro.sim.timers.Timer`) carry a fifth element, a one-slot
+mutable token.  Cancelling flips the token and the pop loop *skips* the
+entry instead of invoking a dead callback — lazy deletion, since removing
+from the middle of a heap is O(n).  Skipped entries still advance the
+clock, the processed-events counter, and the engine trace hook exactly as
+the live no-op call used to, so diagnostics and traces stay bit-identical
+with pre-fast-path kernels; they are additionally counted in
+:attr:`Simulator.cancelled_events`.
+"""
 
 import heapq
 from itertools import count
@@ -21,6 +40,7 @@ class Simulator:
         self._seq = count()
         self._event_count = 0
         self._peak_heap = 0
+        self._cancelled_count = 0
         #: optional :class:`~repro.obs.tracer.Tracer`; every instrumented
         #: component reads it through its ``sim`` reference, so attaching
         #: one here turns tracing on for the whole stack.
@@ -33,13 +53,25 @@ class Simulator:
 
     @property
     def processed_events(self):
-        """Total number of heap entries processed so far (for diagnostics)."""
+        """Total number of heap entries processed so far (for diagnostics).
+
+        Includes cancelled-timer entries: they are popped and skipped, but
+        they occupied the heap and the dispatch loop all the same (and were
+        processed as no-op calls before lazy deletion existed, so the
+        counter is comparable across kernel versions).
+        """
         return self._event_count
 
     @property
     def peak_heap_depth(self):
         """Deepest the event heap has been while processing (diagnostics)."""
         return self._peak_heap
+
+    @property
+    def cancelled_events(self):
+        """Heap entries popped and skipped because their timer had been
+        cancelled (lazy deletion; see :meth:`call_later_cancellable`)."""
+        return self._cancelled_count
 
     def _engine_hook(self):
         """The per-dispatch tracer callback, or None (the common case)."""
@@ -85,6 +117,33 @@ class Simulator:
         heapq.heappush(
             self._heap, (self._now + delay, next(self._seq), callback, args))
 
+    def call_later_cancellable(self, delay, callback, *args):
+        """Like :meth:`call_later`, but returns a cancel token.
+
+        Setting ``token[0] = True`` disarms the entry: the run loop skips
+        it at pop time (counted in :attr:`cancelled_events`) instead of
+        invoking the callback.  The entry itself stays on the heap until
+        its fire time — lazy deletion.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        token = [False]
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, next(self._seq), callback, args, token))
+        return token
+
+    def schedule_at(self, when, callback, *args):
+        """Run ``callback(*args)`` at absolute time ``when`` (>= now).
+
+        Fast-path variant of :meth:`call_later` for callers that already
+        computed an absolute timestamp (the transport's delivery times).
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when!r} before now={self._now!r}")
+        heapq.heappush(self._heap, (when, next(self._seq), callback, args))
+
     def _schedule(self, event, delay):
         heapq.heappush(
             self._heap, (self._now + delay, next(self._seq), event._process, ()))
@@ -118,19 +177,46 @@ class Simulator:
                 f"cannot run until {horizon} which is before now={self._now}")
         heap = self._heap
         hook = self._engine_hook()
-        while heap:
-            when = heap[0][0]
-            if when > horizon:
-                break
-            depth = len(heap)
-            if depth > self._peak_heap:
-                self._peak_heap = depth
-            entry = heapq.heappop(heap)
-            self._now = when
-            self._event_count += 1
-            if hook is not None:
-                hook(when, depth)
-            entry[2](*entry[3])
+        heappop = heapq.heappop
+        events = self._event_count
+        peak = self._peak_heap
+        cancelled = self._cancelled_count
+        try:
+            if hook is None:
+                while heap:
+                    when = heap[0][0]
+                    if when > horizon:
+                        break
+                    depth = len(heap)
+                    if depth > peak:
+                        peak = depth
+                    entry = heappop(heap)
+                    self._now = when
+                    events += 1
+                    if len(entry) == 5 and entry[4][0]:
+                        cancelled += 1
+                        continue
+                    entry[2](*entry[3])
+            else:
+                while heap:
+                    when = heap[0][0]
+                    if when > horizon:
+                        break
+                    depth = len(heap)
+                    if depth > peak:
+                        peak = depth
+                    entry = heappop(heap)
+                    self._now = when
+                    events += 1
+                    hook(when, depth)
+                    if len(entry) == 5 and entry[4][0]:
+                        cancelled += 1
+                        continue
+                    entry[2](*entry[3])
+        finally:
+            self._event_count = events
+            self._peak_heap = peak
+            self._cancelled_count = cancelled
         if horizon != float("inf"):
             self._now = horizon
         return None
@@ -140,16 +226,28 @@ class Simulator:
         event.add_callback(done.append)
         heap = self._heap
         hook = self._engine_hook()
-        while heap and not done:
-            depth = len(heap)
-            if depth > self._peak_heap:
-                self._peak_heap = depth
-            when, _seq, fn, args = heapq.heappop(heap)
-            self._now = when
-            self._event_count += 1
-            if hook is not None:
-                hook(when, depth)
-            fn(*args)
+        heappop = heapq.heappop
+        events = self._event_count
+        peak = self._peak_heap
+        cancelled = self._cancelled_count
+        try:
+            while heap and not done:
+                depth = len(heap)
+                if depth > peak:
+                    peak = depth
+                entry = heappop(heap)
+                self._now = entry[0]
+                events += 1
+                if hook is not None:
+                    hook(entry[0], depth)
+                if len(entry) == 5 and entry[4][0]:
+                    cancelled += 1
+                    continue
+                entry[2](*entry[3])
+        finally:
+            self._event_count = events
+            self._peak_heap = peak
+            self._cancelled_count = cancelled
         if not done:
             raise SimulationError(
                 "simulation ran out of events before the awaited event fired")
@@ -165,10 +263,13 @@ class Simulator:
         depth = len(self._heap)
         if depth > self._peak_heap:
             self._peak_heap = depth
-        when, _seq, fn, args = heapq.heappop(self._heap)
-        self._now = when
+        entry = heapq.heappop(self._heap)
+        self._now = entry[0]
         self._event_count += 1
-        fn(*args)
+        if len(entry) == 5 and entry[4][0]:
+            self._cancelled_count += 1
+            return True
+        entry[2](*entry[3])
         return True
 
     @property

@@ -2,10 +2,12 @@
 
 The kernel's :meth:`Simulator.call_later` cannot be revoked once scheduled;
 retransmission and watchdog logic needs timers that are armed and disarmed
-constantly. A :class:`Timer` schedules its callback through ``call_later``
-and drops it at fire time if :meth:`cancel` ran first — the heap entry
-itself stays (removing from a heap is O(n)), it just becomes a no-op, which
-is the standard lazy-deletion discipline.
+constantly. A :class:`Timer` schedules its callback through
+:meth:`Simulator.call_later_cancellable`; cancelling flips the entry's
+cancel token and the engine's pop loop *skips* the dead entry at fire time
+(counted in ``sim.cancelled_events``) — the heap entry itself stays until
+then (removing from a heap is O(n)), which is the standard lazy-deletion
+discipline.
 """
 
 
@@ -13,7 +15,8 @@ class Timer:
     """Run ``callback(*args)`` once, ``delay`` time units from creation,
     unless cancelled first."""
 
-    __slots__ = ("sim", "callback", "args", "fire_at", "_cancelled", "_fired")
+    __slots__ = ("sim", "callback", "args", "fire_at", "_cancelled",
+                 "_fired", "_token")
 
     def __init__(self, sim, delay, callback, *args):
         if delay < 0:
@@ -24,10 +27,12 @@ class Timer:
         self.fire_at = sim.now + delay
         self._cancelled = False
         self._fired = False
-        sim.call_later(delay, self._fire)
+        self._token = sim.call_later_cancellable(delay, self._fire)
 
     def _fire(self):
         if self._cancelled:
+            # Unreachable via the run loop (the token makes it skip), kept
+            # for direct invocation and older engine implementations.
             return
         self._fired = True
         self.callback(*self.args)
@@ -35,6 +40,7 @@ class Timer:
     def cancel(self):
         """Disarm the timer; a no-op if it already fired."""
         self._cancelled = True
+        self._token[0] = True
 
     @property
     def active(self):

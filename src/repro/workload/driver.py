@@ -86,7 +86,7 @@ class ClientDriver:
         stagger_key = (self.client_id if stream == 0
                        else f"{self.client_id}.s{stream}")
         yield self.sim.timeout(self.generator.initial_stagger(stagger_key))
-        tracer = getattr(self.sim, "tracer", None)
+        tracer = self.sim.tracer
         while not self.control.done:
             if self._crashed:
                 yield self._restart_event  # parks forever without a restart

@@ -66,9 +66,22 @@ class WorkloadGenerator:
         self.params = params
         self.streams = streams
         self.generated = 0
+        # Per-(client, purpose) stream cache: resolving a stream costs an
+        # f-string plus a dict probe in RandomStreams; the driver asks for
+        # the same streams once per transaction, so memoise them here.
+        self._txn_streams = {}
+        self._idle_streams = {}
+        self._stagger_streams = {}
 
     def _stream(self, client_id, purpose):
         return self.streams.stream(f"client{client_id}.{purpose}")
+
+    def _txn_stream(self, client_id):
+        stream = self._txn_streams.get(client_id)
+        if stream is None:
+            stream = self._stream(client_id, "txn")
+            self._txn_streams[client_id] = stream
+        return stream
 
     def _sample_items(self, rng, n_ops):
         params = self.params
@@ -95,16 +108,21 @@ class WorkloadGenerator:
     def next_spec(self, client_id):
         """Generate the next transaction for ``client_id``."""
         params = self.params
-        rng = self._stream(client_id, "txn")
+        rng = self._txn_stream(client_id)
         n_ops = rng.randint(params.min_ops, params.max_ops)
         items = self._sample_items(rng, n_ops)
+        read_probability = params.read_probability
+        think_min = params.think_min
+        think_max = params.think_max
+        random = rng.random
+        uniform = rng.uniform
         operations = tuple(
             Operation(
                 item_id=item,
                 mode=(LockMode.READ
-                      if rng.random() < params.read_probability
+                      if random() < read_probability
                       else LockMode.WRITE),
-                think_time=rng.uniform(params.think_min, params.think_max),
+                think_time=uniform(think_min, think_max),
             )
             for item in items
         )
@@ -113,12 +131,20 @@ class WorkloadGenerator:
 
     def idle_time(self, client_id):
         """Idle period before the client's next transaction."""
-        return self._stream(client_id, "idle").uniform(
-            self.params.idle_min, self.params.idle_max)
+        stream = self._idle_streams.get(client_id)
+        if stream is None:
+            stream = self._stream(client_id, "idle")
+            self._idle_streams[client_id] = stream
+        return stream.uniform(self.params.idle_min, self.params.idle_max)
 
     def initial_stagger(self, client_id):
         """Start-up desynchronisation: the first transaction of each client
         begins after one idle-time draw, so all clients do not fire their
         first request at t=0 in lockstep."""
-        return self._stream(client_id, "stagger").uniform(
-            0.0, self.params.idle_max)
+        # One draw per client per run: caching the stream avoids the
+        # f-string rebuild, but buffering would prefetch draws nobody uses.
+        stream = self._stagger_streams.get(client_id)
+        if stream is None:
+            stream = self._stream(client_id, "stagger")
+            self._stagger_streams[client_id] = stream
+        return stream.uniform(0.0, self.params.idle_max)

@@ -81,3 +81,70 @@ def test_bad_protocol_rejected():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_with_profile_writes_pstats(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["run", "--protocol", "s2pl", "--clients", "4",
+                 "--items", "6", "--transactions", "40", "--warmup", "5",
+                 "--latency", "20", "--profile"])
+    assert code == 0
+    pstats_file = tmp_path / "profile_s2pl.pstats"
+    assert pstats_file.exists()
+    import pstats
+
+    stats = pstats.Stats(str(pstats_file))
+    assert stats.total_calls > 0
+
+
+def test_compare_with_profile_writes_pstats(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["compare", "--clients", "4", "--items", "6",
+                 "--transactions", "40", "--warmup", "5", "--latency", "20",
+                 "--replications", "1", "--profile"])
+    assert code == 0
+    assert (tmp_path / "profile_s2pl-g2pl.pstats").exists()
+
+
+def _fake_bench(eps, digest="d"):
+    from repro.perf.bench import BENCH_SCHEMA_VERSION, CELL_REVISION
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "cell_revision": CELL_REVISION,
+        "mode": "quick",
+        "cells": {"engine_churn": {"events_per_sec": eps,
+                                   "wall_seconds": 0.1,
+                                   "events": 100,
+                                   "digest": digest}},
+    }
+
+
+def test_bench_writes_results_and_passes_baseline(capsys, tmp_path,
+                                                  monkeypatch):
+    import repro.perf.bench as bench_mod
+
+    monkeypatch.setattr(bench_mod, "run_benchmarks",
+                        lambda quick, repeats, progress=None:
+                        _fake_bench(1000.0))
+    out = tmp_path / "bench.json"
+    baseline = tmp_path / "baseline.json"
+    bench_mod.write_benchmark(baseline, _fake_bench(1000.0))
+    code = main(["bench", "--quick", "--out", str(out),
+                 "--baseline", str(baseline)])
+    assert code == 0
+    assert out.exists()
+    assert "within tolerance" in capsys.readouterr().out
+
+
+def test_bench_exits_nonzero_on_regression(capsys, tmp_path, monkeypatch):
+    import repro.perf.bench as bench_mod
+
+    monkeypatch.setattr(bench_mod, "run_benchmarks",
+                        lambda quick, repeats, progress=None:
+                        _fake_bench(100.0))
+    baseline = tmp_path / "baseline.json"
+    bench_mod.write_benchmark(baseline, _fake_bench(1000.0))
+    code = main(["bench", "--quick", "--baseline", str(baseline)])
+    assert code == 1
+    assert "regressed" in capsys.readouterr().out
