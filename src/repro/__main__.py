@@ -1,0 +1,9 @@
+"""``python -m repro`` — same entry point as the ``repro-experiment``
+console script."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -264,6 +264,23 @@ def _cmd_bench(args):
     return 0
 
 
+def _cmd_live(args):
+    from repro.live.harness import calibrate
+    from repro.live.scenario import ScenarioSpec
+
+    spec = ScenarioSpec(
+        protocol=args.protocol, mode=args.mode, n_clients=args.clients,
+        latency=args.latency, seed=args.seed, think=args.think,
+        repeats=args.repeats, duration=args.duration, n_items=args.items,
+        read_probability=args.pr)
+    report = calibrate(spec, time_scale=args.time_scale)
+    print(report.describe())
+    if not report.ok:
+        print("calibration FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_list(_args):
     print("protocols:", ", ".join(available_protocols()))
     print("figures: 1 (worked example), 2-4 (response vs latency), "
@@ -366,6 +383,41 @@ def build_parser():
                                help="write markdown here instead of stdout")
     _add_jobs_arg(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    live_parser = sub.add_parser(
+        "live", help="run the protocol over real asyncio TCP processes "
+                     "(loopback, shaped latency) and calibrate against "
+                     "the simulator")
+    live_parser.add_argument("--protocol", default="s2pl",
+                             choices=available_protocols())
+    live_parser.add_argument("--clients", type=int, default=4,
+                             help="client processes (calibrate mode: "
+                                  "m contenders + 1 primer)")
+    live_parser.add_argument("--latency", type=float, default=2.0,
+                             help="one-way link latency in simulation "
+                                  "units")
+    live_parser.add_argument("--duration", type=float, default=120.0,
+                             help="workload-mode horizon in simulation "
+                                  "units (clients stop starting "
+                                  "transactions after this)")
+    live_parser.add_argument("--mode", default="calibrate",
+                             choices=("calibrate", "workload"))
+    live_parser.add_argument("--repeats", type=int, default=3,
+                             help="calibrate-mode epochs (each commits "
+                                  "clients-1 measured transactions)")
+    live_parser.add_argument("--think", type=float, default=1.0,
+                             help="calibrate-mode think time per "
+                                  "operation")
+    live_parser.add_argument("--time-scale", type=float, default=0.02,
+                             metavar="S",
+                             help="wall seconds per simulation unit "
+                                  "(default 0.02)")
+    live_parser.add_argument("--items", type=int, default=25,
+                             help="workload-mode data items")
+    live_parser.add_argument("--pr", type=float, default=0.6,
+                             help="workload-mode read probability")
+    live_parser.add_argument("--seed", type=int, default=1)
+    live_parser.set_defaults(func=_cmd_live)
 
     list_parser = sub.add_parser("list", help="list protocols and figures")
     list_parser.set_defaults(func=_cmd_list)

@@ -1,0 +1,25 @@
+"""Live mode: the s-2PL / g-2PL state machines over real asyncio TCP.
+
+The simulator answers *what the protocols do*; live mode answers whether
+they do the same thing on an actual network. The same protocol code —
+:mod:`repro.protocols` is written against the kernel contract documented
+in :mod:`repro.live.clock` — runs unchanged over:
+
+* :mod:`repro.live.codec` — a length-prefixed binary wire codec for every
+  payload in :mod:`repro.protocols.messages`;
+* :mod:`repro.live.clock` — :class:`~repro.live.clock.LiveKernel`, an
+  asyncio-paced drop-in for :class:`~repro.sim.engine.Simulator` (same
+  events, same processes, wall-clock time);
+* :mod:`repro.live.transport` — a full-mesh TCP transport with per-link
+  userspace latency shaping (Table 2 environments on loopback);
+* :mod:`repro.live.server` / :mod:`repro.live.client` — endpoint
+  processes, one OS process per site;
+* :mod:`repro.live.harness` — launches 1 server + N clients, merges the
+  per-endpoint histories and traces, validates them with
+  :mod:`repro.validate`, and calibrates measured message rounds and
+  response times against a simulator run of the same scenario.
+
+Submodules are imported explicitly (``from repro.live import harness``)
+rather than re-exported here: endpoint processes import this package on
+every spawn, and the codec must not drag asyncio or the harness in.
+"""

@@ -62,7 +62,37 @@ class NetworkStats:
         self.per_type[kind] = self.per_type.get(kind, 0) + 1
 
 
-class Network:
+class SiteRegistry:
+    """The site directory shared by every transport implementation.
+
+    Both the simulator's :class:`Network` and the live TCP transport
+    (:class:`repro.live.transport.LiveTransport`) register protocol sites
+    the same way; protocol assembly code (``make_protocol`` callers) can
+    therefore wire a run identically against either.
+    """
+
+    def __init__(self):
+        self._sites = {}
+
+    def add_site(self, site):
+        """Register a site; its ``site_id`` must be unique."""
+        if site.site_id in self._sites:
+            raise ValueError(f"duplicate site id {site.site_id!r}")
+        self._sites[site.site_id] = site
+        site.attach(self)
+        return site
+
+    def site(self, site_id):
+        """Look up a registered site."""
+        return self._sites[site_id]
+
+    @property
+    def sites(self):
+        """All registered sites (read-only view)."""
+        return dict(self._sites)
+
+
+class Network(SiteRegistry):
     """Delivers payloads between attached sites.
 
     Delivery delay = topology latency (propagation + switching) plus, when a
@@ -79,12 +109,12 @@ class Network:
     def __init__(self, sim, topology, bandwidth=None, faults=None):
         if bandwidth is not None and bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
+        super().__init__()
         self.sim = sim
         self.topology = topology
         self.bandwidth = bandwidth
         self.faults = faults
         self.stats = NetworkStats()
-        self._sites = {}
         self._last_deliver = {}  # (src, dst) -> last scheduled delivery time
         self._latency_cache = {}  # (src, dst) -> topology latency
         self._tracer = None
@@ -125,25 +155,6 @@ class Network:
         if self.bandwidth is not None:
             latency += size / self.bandwidth
         return latency
-
-    # -- site registry -------------------------------------------------------
-
-    def add_site(self, site):
-        """Register a site; its ``site_id`` must be unique."""
-        if site.site_id in self._sites:
-            raise ValueError(f"duplicate site id {site.site_id!r}")
-        self._sites[site.site_id] = site
-        site.attach(self)
-        return site
-
-    def site(self, site_id):
-        """Look up a registered site."""
-        return self._sites[site_id]
-
-    @property
-    def sites(self):
-        """All registered sites (read-only view)."""
-        return dict(self._sites)
 
     # -- send fast paths -----------------------------------------------------
     #

@@ -233,6 +233,26 @@ class Tracer:
                   committed=outcome.committed,
                   response=outcome.response_time)
 
+    def partial_records(self):
+        """Accumulators of transactions this tracer never saw finish.
+
+        In a live run every endpoint process has its own tracer, and a
+        transaction's rounds are charged wherever the charging code runs:
+        the server charges grants, a forwarding g-2PL client charges the
+        successor's handoff wire time. Those foreign charges accumulate in
+        ``_live`` and are never finalised locally — the harness merges them
+        into the owning endpoint's finished record. Keys mirror
+        :meth:`_txn_record` minus the outcome metadata.
+        """
+        return [
+            {"txn": acc.txn_id, "client": acc.client_id,
+             "rounds": dict(acc.rounds), "propagation": acc.propagation,
+             "transmission": acc.transmission, "slack": acc.slack,
+             "server_queue": acc.server_queue,
+             "client_think": acc.client_think}
+            for acc in self._live.values()
+        ]
+
     # -- probes --------------------------------------------------------------
 
     def probe(self, name, value):

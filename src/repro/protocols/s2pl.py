@@ -330,9 +330,7 @@ class S2PLClient(ProtocolClient):
                     txn.abort(msg.reason)
                     break
                 self.op_waits.append(self.sim.now - requested_at)
-                yield self.sim.timeout(op.think_time)
-                if tracer is not None:
-                    tracer.think_charge(txn.txn_id, op.think_time)
+                yield from self.think(txn.txn_id, op.think_time)
                 notice = self._abort_flags.pop(txn.txn_id, None)
                 if notice is not None:
                     txn.abort(notice.reason)

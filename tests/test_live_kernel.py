@@ -1,0 +1,219 @@
+"""LiveKernel semantics: the simulator contract, paced by the wall clock.
+
+All tests run with a tiny ``time_scale`` so wall-clock waits stay in the
+milliseconds; assertions are on *ordering* and *values*, with generous
+bounds on elapsed time (CI machines stall).
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.live.clock import KERNEL_CONTRACT, LiveKernel, kernel_contract_holds
+from repro.live.transport import LiveTransport
+from repro.network.topology import UniformTopology
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_contract_is_shared_with_the_simulator():
+    assert kernel_contract_holds(Simulator())
+    assert kernel_contract_holds(LiveKernel())
+    # the contract names must actually exist on both
+    for name in KERNEL_CONTRACT:
+        assert hasattr(Simulator(), name)
+
+
+def test_rejects_nonpositive_time_scale():
+    with pytest.raises(ValueError):
+        LiveKernel(time_scale=0.0)
+
+
+def test_timeout_orders_and_values():
+    kernel = LiveKernel(time_scale=0.001)
+    seen = []
+
+    def process():
+        value = yield kernel.timeout(2.0, value="first")
+        seen.append((value, kernel.now))
+        value = yield kernel.timeout(3.0, value="second")
+        seen.append((value, kernel.now))
+        return "done"
+
+    result = run_async(kernel.run(until=kernel.spawn(process())))
+    assert result == "done"
+    assert [v for v, _ in seen] == ["first", "second"]
+    t_first, t_second = (t for _, t in seen)
+    assert t_first >= 2.0
+    assert t_second >= t_first + 3.0
+
+
+def test_now_tracks_wall_clock():
+    kernel = LiveKernel(time_scale=0.001)  # 1 unit = 1ms
+
+    def process():
+        yield kernel.timeout(20.0)
+
+    start = time.monotonic()
+    run_async(kernel.run(until=kernel.spawn(process())))
+    elapsed = time.monotonic() - start
+    assert elapsed >= 0.018  # 20 units at 1ms each, minus clock granularity
+    assert kernel.now >= 20.0
+
+
+def test_fifo_at_equal_timestamps():
+    kernel = LiveKernel(time_scale=0.0005)
+    order = []
+    for tag in range(5):
+        kernel.call_later(1.0, order.append, tag)
+    stopper = kernel.event()
+    kernel.call_later(1.0, stopper.succeed)
+    run_async(kernel.run(until=stopper))
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cancellable_timer_is_skipped():
+    kernel = LiveKernel(time_scale=0.0005)
+    fired = []
+    token = kernel.call_later_cancellable(1.0, fired.append, "timer")
+    token[0] = True
+    stopper = kernel.event()
+    kernel.call_later(2.0, stopper.succeed)
+    run_async(kernel.run(until=stopper))
+    assert fired == []
+    assert kernel.cancelled_events == 1
+
+
+def test_event_injection_from_reader_task():
+    """inject() must wake a kernel sleeping on a far-off timer."""
+    kernel = LiveKernel(time_scale=0.001)
+    got = kernel.event()
+
+    def process():
+        value = yield got
+        return value
+
+    async def scenario():
+        proc = kernel.spawn(process())
+        # park a far-future timer so the kernel sleeps deeply
+        kernel.call_later(10_000.0, lambda: None)
+
+        async def external():
+            await asyncio.sleep(0.02)
+            kernel.inject(got.succeed, "stimulus")
+
+        task = asyncio.ensure_future(external())
+        result = await kernel.run(until=proc)
+        await task
+        return result
+
+    start = time.monotonic()
+    assert run_async(scenario()) == "stimulus"
+    assert time.monotonic() - start < 5.0  # did not wait out the timer
+
+
+def test_process_exception_propagates():
+    kernel = LiveKernel(time_scale=0.0005)
+
+    def process():
+        yield kernel.timeout(1.0)
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError, match="boom"):
+        run_async(kernel.run(until=kernel.spawn(process())))
+
+
+def test_process_must_yield_events():
+    kernel = LiveKernel(time_scale=0.0005)
+
+    def process():
+        yield 42
+
+    with pytest.raises(SimulationError):
+        run_async(kernel.run(until=kernel.spawn(process())))
+
+
+def test_horizon_run_advances_clock():
+    kernel = LiveKernel(time_scale=0.001)
+    fired = []
+    kernel.call_later(5.0, fired.append, "in")
+    kernel.call_later(50.0, fired.append, "out")
+    run_async(kernel.run(until=10.0))
+    assert fired == ["in"]
+    assert kernel.now >= 10.0
+
+
+def test_stop_interrupts_run():
+    kernel = LiveKernel(time_scale=0.001)
+
+    async def scenario():
+        async def stopper():
+            await asyncio.sleep(0.02)
+            kernel.stop()
+
+        task = asyncio.ensure_future(stopper())
+        await kernel.run()  # no work, no horizon: only stop() can end it
+        await task
+
+    run_async(asyncio.wait_for(scenario(), timeout=5.0))
+
+
+def test_two_kernels_interleave_in_one_loop():
+    """Two endpoints' kernels are just coroutines; they must co-run."""
+    a, b = LiveKernel(time_scale=0.001), LiveKernel(time_scale=0.001)
+    log = []
+    a.call_later(2.0, log.append, "a2")
+    b.call_later(1.0, log.append, "b1")
+    b.call_later(3.0, log.append, "b3")
+
+    async def scenario():
+        await asyncio.gather(a.run(until=4.0), b.run(until=4.0))
+
+    run_async(scenario())
+    assert log == ["b1", "a2", "b3"]
+
+
+def test_protocol_code_runs_unmodified_under_live_kernel():
+    """The s-2PL client/server generators — written for the simulator —
+    must execute a full transaction in-process under a LiveKernel with a
+    LiveTransport delivering locally (both sites in this process)."""
+    from repro.core.config import SimulationConfig
+    from repro.protocols.registry import make_protocol
+    from repro.protocols.transaction import Transaction
+    from repro.storage.store import VersionedStore
+    from repro.storage.wal import WriteAheadLog
+    from repro.validate.history import HistoryRecorder
+    from repro.workload.spec import Operation, TransactionSpec
+    from repro.locking.modes import LockMode
+
+    kernel = LiveKernel(time_scale=0.0005)
+    config = SimulationConfig(
+        protocol="s2pl", n_clients=1, n_items=3, network_latency=2.0,
+        total_transactions=1, warmup_transactions=0)
+    history = HistoryRecorder()
+    store = VersionedStore(range(3))
+    wal = WriteAheadLog()
+    transport = LiveTransport(kernel, UniformTopology(2.0), site_id=0,
+                              port_map={0: 0})
+    server, clients = make_protocol("s2pl", kernel, config, store, wal,
+                                    history, [1])
+    transport.add_site(server)
+    transport.add_site(clients[1])
+
+    spec = TransactionSpec(operations=(
+        Operation(item_id=0, mode=LockMode.WRITE, think_time=1.0),
+        Operation(item_id=2, mode=LockMode.READ, think_time=1.0),
+    ))
+    txn = Transaction(1, 1, spec, birth=0.0)
+    outcome = run_async(
+        kernel.run(until=kernel.spawn(clients[1].execute(txn))))
+    assert outcome.committed
+    assert 1 in history.committed
+    assert len(history.accesses) == 2
+    # response spans 2 round trips of latency 2.0 plus 2 think units
+    assert outcome.response_time >= 2 * (2 * 2.0) + 2 * 1.0

@@ -1,0 +1,62 @@
+"""End-to-end live smoke: real processes, real TCP, calibrated vs sim.
+
+Each case launches 1 server + N client OS processes over loopback with
+userspace-shaped latency, merges their results, and compares against the
+simulator running the *same scenario code*:
+
+* the merged history is serializable and strict,
+* the committed transaction sets are identical (calibrate mode is fully
+  deterministic by construction),
+* per-transaction sequential round counts match the simulator exactly
+  (s-2PL: 3 per commit; g-2PL: 2m+1 per epoch over the contenders),
+* live response times track the simulator within the documented
+  tolerance (see EXPERIMENTS.md appendix C).
+
+These are the assertions CI's ``live-smoke`` job runs.
+"""
+
+import pytest
+
+from repro.live.harness import calibrate
+from repro.live.scenario import ScenarioSpec
+from repro.obs.rounds import expected_rounds
+
+#: documented smoke tolerance on the mean relative response-time delta;
+#: loopback runs typically land near 3-5% (EXPERIMENTS.md appendix C)
+RESPONSE_TOLERANCE = 0.25
+
+pytestmark = pytest.mark.live
+
+
+@pytest.mark.parametrize("protocol", ["s2pl", "g2pl"])
+def test_live_calibrate_matches_simulator(protocol):
+    spec = ScenarioSpec(protocol=protocol, mode="calibrate", n_clients=4,
+                        latency=2.0, think=1.0, repeats=2)
+    report = calibrate(spec, time_scale=0.02)
+    assert report.serializable, "merged live history not serializable"
+    assert report.strict, "merged live history not strict"
+    assert report.committed_match, (
+        "live committed set differs from simulator")
+    m = spec.n_clients - 1
+    assert report.n_compared == m * spec.repeats
+    assert report.rounds_exact, (
+        f"round mismatches: {report.round_mismatches}")
+    # the per-txn totals are the paper's arithmetic
+    live_total = sum(
+        record["rounds_sequential"]
+        for record in report.live.merged.measured_committed().values())
+    assert live_total == expected_rounds(protocol, m) * spec.repeats
+    assert report.mean_relative_delta < RESPONSE_TOLERANCE
+    # no round charge may be left without an owning transaction record
+    assert report.live.merged.orphans == []
+
+
+def test_live_workload_history_is_serializable_and_rounds_match():
+    spec = ScenarioSpec(protocol="g2pl", mode="workload", n_clients=3,
+                        latency=2.0, duration=60.0, seed=7)
+    report = calibrate(spec, time_scale=0.01)
+    assert report.serializable and report.strict
+    assert report.n_compared > 0
+    assert report.rounds_exact, (
+        f"round mismatches: {report.round_mismatches}")
+    assert report.mean_relative_delta < RESPONSE_TOLERANCE

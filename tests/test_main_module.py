@@ -1,0 +1,49 @@
+"""``python -m repro`` must behave exactly like the console entry point."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def _run_module(*argv):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+def test_module_list_matches_cli_list(capsys):
+    main(["list"])
+    expected = capsys.readouterr().out
+    proc = _run_module("list")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout == expected
+
+
+def test_module_no_args_shows_usage():
+    proc = _run_module()
+    # argparse exits 2 on a missing subcommand and prints usage.
+    assert proc.returncode == 2
+    assert "usage:" in proc.stderr
+
+
+def test_module_runs_a_simulation():
+    proc = _run_module(
+        "run", "--protocol", "s2pl", "--clients", "3", "--latency", "10",
+        "--transactions", "30", "--warmup", "5", "--seed", "7")
+    assert proc.returncode == 0, proc.stderr
+    assert "s2pl" in proc.stdout
+
+
+@pytest.mark.parametrize("flag", ["-h", "--help"])
+def test_module_help(flag):
+    proc = _run_module(flag)
+    assert proc.returncode == 0
+    assert "usage:" in proc.stdout
