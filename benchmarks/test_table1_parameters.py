@@ -10,7 +10,7 @@ def test_table1_parameters(benchmark, report):
     rows = benchmark(table1_parameters)
     emit(report, render_pairs("Table 1: Simulation Parameters", rows))
     as_dict = dict(rows)
-    assert as_dict["Number of servers"] == "1"
+    assert as_dict["Number of servers"].startswith("1")
     assert as_dict["Number of hot data items"] == "25"
     assert as_dict["Multiprogramming level at clients"] == "1"
     assert "1-5" in as_dict["Data items accessed by a transaction"]

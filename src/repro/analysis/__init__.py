@@ -1,8 +1,12 @@
 """Result analysis and rendering: text tables, ASCII plots, crossovers."""
 
 from repro.analysis.ascii_plot import ascii_plot
-from repro.analysis.crossover import find_crossover
+from repro.analysis.crossover import (
+    describe_shard_grid,
+    find_crossover,
+    shard_crossover_grid,
+)
 from repro.analysis.tables import render_experiment, render_pairs
 
-__all__ = ["ascii_plot", "find_crossover", "render_experiment",
-           "render_pairs"]
+__all__ = ["ascii_plot", "describe_shard_grid", "find_crossover",
+           "render_experiment", "render_pairs", "shard_crossover_grid"]

@@ -37,6 +37,26 @@ def _add_workload_args(parser):
              "'loss=0.05,dup=0.01,jitter=50,crash=3@10000:20000' "
              "(see repro.network.faults.FaultSpec.parse)")
     parser.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="partition the hot items over K home servers "
+             "(cross-shard transactions commit with 2PC)")
+    parser.add_argument(
+        "--regions", type=int, default=1, metavar="R",
+        help="group the shard servers into R geographic regions "
+             "(clients sit with their home shard; inter-region hops "
+             "cost --latency, intra-region hops --intra-latency)")
+    parser.add_argument(
+        "--intra-latency", type=float, default=1.0, metavar="L",
+        help="one-way latency inside a region (default 1.0)")
+    parser.add_argument(
+        "--commit", default="2pc", choices=("2pc", "2pc-opt"),
+        help="cross-shard atomic commit: classic 2PC (2m+3 rounds) or "
+             "the piggybacked variant (2m+1 rounds)")
+    parser.add_argument(
+        "--cross-shard", type=float, default=None, metavar="P",
+        help="probability a transaction draws from the full item pool "
+             "instead of its home shard (default: every draw is global)")
+    parser.add_argument(
         "--trace", action="store_true",
         help="collect structured trace events and per-transaction "
              "round/latency accounting (metrics stay bit-identical)")
@@ -68,6 +88,11 @@ def _config_from(args, protocol):
         total_transactions=args.transactions,
         warmup_transactions=args.warmup, seed=args.seed,
         faults=getattr(args, "faults", None),
+        n_shards=getattr(args, "shards", 1),
+        n_regions=getattr(args, "regions", 1),
+        intra_region_latency=getattr(args, "intra_latency", 1.0),
+        commit_protocol=getattr(args, "commit", "2pc"),
+        cross_shard_probability=getattr(args, "cross_shard", None),
         trace=getattr(args, "trace", False),
         probe_interval=getattr(args, "probe_interval", None),
         record_history=False)
@@ -228,9 +253,20 @@ def _cmd_figure(args):
     elif number in ("loss", "loss-aborts"):
         metric = "aborts" if number == "loss-aborts" else "response"
         show(exp.figure_loss_sweep(metric, fidelity=fidelity, jobs=jobs))
+    elif number == "shard-crossover":
+        from repro.analysis.crossover import (
+            describe_shard_grid,
+            shard_crossover_grid,
+        )
+
+        regimes = shard_crossover_grid(fidelity=args.fidelity, jobs=jobs)
+        for row in regimes:
+            show(row.response)
+            print()
+        print(describe_shard_grid(regimes))
     else:
-        print(f"unknown figure {number!r}; choose 1-15, loss, or "
-              f"loss-aborts", file=sys.stderr)
+        print(f"unknown figure {number!r}; choose 1-15, loss, "
+              f"loss-aborts, or shard-crossover", file=sys.stderr)
         return 2
     return 0
 
@@ -287,7 +323,9 @@ def _cmd_list(_args):
           "5-7 (response vs read probability), 8-9 (aborts vs latency), "
           "10 (read-only deadlocks), 11 (forward-list length), "
           "12-15 (client scalability), loss / loss-aborts "
-          "(fault injection: metrics vs message-loss probability)")
+          "(fault injection: metrics vs message-loss probability), "
+          "shard-crossover (shard count x inter-region latency "
+          "dominance grid)")
     print("fidelities:", ", ".join(f.label for f in Fidelity))
     return 0
 

@@ -70,6 +70,21 @@ class SimulationConfig:
     # c-2PL options
     cache_capacity: Optional[int] = None  # None = unbounded client cache
 
+    # sharding / geo-topology. With n_shards > 1 the item space is
+    # partitioned across that many home servers; n_regions > 1 groups
+    # shards and clients into regions (intra-region hops cost
+    # intra_region_latency, inter-region hops cost network_latency).
+    n_shards: int = 1
+    n_regions: int = 1
+    intra_region_latency: float = 1.0
+    # cross-shard commit: "2pc" (classic prepare/vote/decide) or
+    # "2pc-opt" (votes piggyback on the last lock grant per shard)
+    commit_protocol: str = "2pc"
+    # None keeps the single-server workload untouched; a probability p
+    # makes each transaction cross-shard-eligible with probability p
+    # (items drawn from the full pool) and home-shard-local otherwise
+    cross_shard_probability: Optional[float] = None
+
     # fault injection: a FaultSpec, a spec string for FaultSpec.parse
     # ("loss=0.05,crash=3@10000:20000"), or None for a perfect network
     faults: Optional[object] = None
@@ -106,6 +121,23 @@ class SimulationConfig:
             raise ValueError("mpl must be >= 1")
         if self.probe_interval is not None and self.probe_interval <= 0:
             raise ValueError("probe_interval must be positive")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.n_shards > self.n_items:
+            raise ValueError(
+                f"n_shards {self.n_shards} exceeds the "
+                f"{self.n_items}-item pool")
+        if self.n_regions < 1:
+            raise ValueError("n_regions must be >= 1")
+        if self.intra_region_latency < 0:
+            raise ValueError("negative intra-region latency")
+        if self.commit_protocol not in ("2pc", "2pc-opt"):
+            raise ValueError(
+                f"unknown commit_protocol {self.commit_protocol!r} "
+                f"(expected '2pc' or '2pc-opt')")
+        if self.cross_shard_probability is not None and not (
+                0.0 <= self.cross_shard_probability <= 1.0):
+            raise ValueError("cross_shard_probability outside [0, 1]")
 
     def replace(self, **changes):
         """A copy with ``changes`` applied (validation re-runs)."""
@@ -131,11 +163,17 @@ class SimulationConfig:
             idle_min=self.idle_min,
             idle_max=self.idle_max,
             access_skew=self.access_skew,
+            n_shards=self.n_shards,
+            cross_shard_probability=self.cross_shard_probability,
         )
 
     def describe(self):
         """One-line summary for experiment logs."""
+        sharding = ""
+        if self.n_shards > 1:
+            sharding = (f" shards={self.n_shards} regions={self.n_regions} "
+                        f"commit={self.commit_protocol}")
         return (f"{self.protocol} clients={self.n_clients} "
                 f"items={self.n_items} pr={self.read_probability:g} "
                 f"latency={self.network_latency:g} "
-                f"txns={self.total_transactions}")
+                f"txns={self.total_transactions}{sharding}")

@@ -341,7 +341,7 @@ def table1_parameters():
     """Table 1: the simulation parameters, as configured by default."""
     cfg = SimulationConfig()
     return [
-        ("Number of servers", "1"),
+        ("Number of servers", "1 (or n_shards home servers when sharded)"),
         ("Number of clients", f"varying (default {cfg.n_clients})"),
         ("Number of hot data items", str(cfg.n_items)),
         ("Transaction execution pattern", "sequential"),

@@ -10,9 +10,11 @@ from repro.obs.probes import ProbeSampler, default_sources
 from repro.obs.summary import TraceSummary
 from repro.obs.tracer import Tracer
 from repro.network.reliable import ReliableLink
-from repro.network.topology import UniformTopology
+from repro.network.topology import RegionTopology, UniformTopology
 from repro.network.transport import Network
 from repro.protocols.registry import make_protocol
+from repro.protocols.sharded import make_sharded_protocol
+from repro.protocols.sharding import GlobalDeadlockDetector, ShardMap
 from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError
 from repro.sim.rng import RandomStreams
@@ -86,23 +88,43 @@ def _validate_faults(config, injector):
         raise ValueError(
             f"protocol {config.protocol!r} has no client-crash recovery; "
             f"crash faults require one of {sorted(CRASH_CAPABLE_PROTOCOLS)}")
+    if (crash_sites and config.n_shards > 1
+            and config.commit_protocol == "2pc-opt"):
+        raise ValueError(
+            "commit_protocol '2pc-opt' cannot recover from client crashes: "
+            "its commit decisions carry the updates, so a surviving "
+            "participant could learn the outcome but not the data; use "
+            "'2pc' when combining sharding with crash faults")
     unknown = crash_sites - set(range(1, config.n_clients + 1))
     if unknown:
         raise ValueError(
             f"crash faults name unknown client sites {sorted(unknown)}")
 
 
-def _install_fault_layer(sim, config, injector, server, clients, drivers):
+def _build_topology(config, shard_map):
+    """The run's latency model: uniform for single-region layouts, a
+    region matrix (intra cheap, inter = ``network_latency``) when the
+    sharded deployment spans regions."""
+    if shard_map is None or config.n_regions <= 1:
+        return UniformTopology(config.network_latency)
+    return RegionTopology(
+        shard_map.region_assignments(config.n_clients, config.n_regions),
+        intra_latency=config.intra_region_latency,
+        inter_latency=config.network_latency)
+
+
+def _install_fault_layer(sim, config, injector, servers, clients, drivers):
     """Fault-mode wiring: reliable (ack/retransmit) channels on every site,
-    the protocol's recovery timers on the server, and the deterministic
-    crash controller driving the spec's crash windows."""
+    the protocol's recovery timers on every home server, and the
+    deterministic crash controller driving the spec's crash windows."""
     spec = config.faults
     rto, max_interval, chain_timeout, sweep = derive_recovery_times(
         spec, config.network_latency)
-    for site in [server, *clients.values()]:
+    for site in [*servers, *clients.values()]:
         site.reliable = ReliableLink(sim, site, rto, backoff=spec.retry_backoff,
                                      max_interval=max_interval)
-    server.enable_fault_recovery(injector, rto, chain_timeout, sweep)
+    for server in servers:
+        server.enable_fault_recovery(injector, rto, chain_timeout, sweep)
     for crash in spec.crashes:
         client = clients[crash.client_id]
         driver = drivers[crash.client_id]
@@ -143,20 +165,36 @@ def run_simulation(config, seed=None, check_serializability=None):
         sim.tracer = tracer
     streams = RandomStreams(seed)
     history = HistoryRecorder(enabled=config.record_history)
-    store = VersionedStore(range(config.n_items))
-    wal = WriteAheadLog()
+    shard_map = None
+    if config.n_shards > 1:
+        shard_map = ShardMap(config.n_shards, config.n_items)
     injector = None
     if config.faults is not None:
         injector = FaultInjector(config.faults, streams.spawn("faults"))
         _validate_faults(config, injector)
-    network = Network(sim, UniformTopology(config.network_latency),
+    network = Network(sim, _build_topology(config, shard_map),
                       bandwidth=config.bandwidth, faults=injector)
     if tracer is not None:
         tracer.bind_network(network)
     client_ids = list(range(1, config.n_clients + 1))
-    server, clients = make_protocol(config.protocol, sim, config, store, wal,
-                                    history, client_ids)
-    network.add_site(server)
+    if shard_map is not None:
+        stores = {}
+        wals = {}
+        for shard, site_id in enumerate(shard_map.server_ids):
+            stores[site_id] = VersionedStore(shard_map.items_of(shard))
+            wals[site_id] = WriteAheadLog()
+        servers, clients = make_sharded_protocol(
+            config.protocol, sim, config, shard_map, stores, wals,
+            history, client_ids)
+        server_list = [servers[site_id] for site_id in shard_map.server_ids]
+    else:
+        store = VersionedStore(range(config.n_items))
+        wal = WriteAheadLog()
+        server, clients = make_protocol(config.protocol, sim, config, store,
+                                        wal, history, client_ids)
+        server_list = [server]
+    for site in server_list:
+        network.add_site(site)
     for client in clients.values():
         network.add_site(client)
 
@@ -169,11 +207,22 @@ def run_simulation(config, seed=None, check_serializability=None):
                               collector, mpl=config.mpl)
         drivers[client_id] = driver
         driver.start()
+    detector = None
+    if shard_map is not None and config.protocol == "s2pl":
+        # Per-shard detection cannot see cycles whose edges span shards;
+        # the periodic union sweep catches distributed deadlocks. The
+        # interval covers a request round trip at the worst-case latency.
+        detector = GlobalDeadlockDetector(
+            sim, server_list,
+            interval=2.0 * config.network_latency + 1.0,
+            victim_policy=config.victim_policy,
+            stop_when=lambda: control.done).start()
     if injector is not None:
-        _install_fault_layer(sim, config, injector, server, clients, drivers)
+        _install_fault_layer(sim, config, injector, server_list, clients,
+                             drivers)
     if tracer is not None and config.probe_interval is not None:
         ProbeSampler(sim, tracer, config.probe_interval,
-                     default_sources(sim, network, server, tracer),
+                     default_sources(sim, network, server_list, tracer),
                      stop_when=lambda: control.done).start()
 
     wall_start = time.perf_counter()
@@ -198,31 +247,59 @@ def run_simulation(config, seed=None, check_serializability=None):
             raise AssertionError(
                 f"non-strict execution under {config.protocol} "
                 f"(seed {seed}): {strictness}")
-    if hasattr(server, "assert_invariants"):
-        server.assert_invariants()
+    for srv in server_list:
+        if hasattr(srv, "assert_invariants"):
+            srv.assert_invariants()
 
     all_waits = [w for client in clients.values() for w in client.op_waits]
-    server_stats = {"aborts_initiated": server.aborts_initiated,
+    server_stats = {"aborts_initiated": sum(s.aborts_initiated
+                                            for s in server_list),
                     "mean_op_wait": (sum(all_waits) / len(all_waits)
                                      if all_waits else 0.0),
                     "n_ops_granted": len(all_waits)}
     for attr in ("deadlocks_found", "windows_dispatched", "avoidance_aborts",
                  "grafted_reads", "callbacks_sent", "cache_hits"):
-        if hasattr(server, attr):
-            server_stats[attr] = getattr(server, attr)
-    if hasattr(server, "mean_fl_length"):
-        server_stats["mean_fl_length"] = server.mean_fl_length()
+        if any(hasattr(s, attr) for s in server_list):
+            server_stats[attr] = sum(getattr(s, attr) for s in server_list
+                                     if hasattr(s, attr))
+    if any(hasattr(s, "mean_fl_length") for s in server_list):
+        fl_lengths = [length for s in server_list
+                      for length in getattr(s, "fl_lengths", ())]
+        server_stats["mean_fl_length"] = (
+            sum(fl_lengths) / len(fl_lengths) if fl_lengths else 0.0)
+    if shard_map is not None:
+        twopc_commits = set()
+        twopc_aborts = set()
+        for s in server_list:
+            twopc_commits |= getattr(s, "twopc_commits", set())
+            twopc_aborts |= getattr(s, "twopc_aborts", set())
+        conflicted = twopc_commits & twopc_aborts
+        if conflicted:
+            raise AssertionError(
+                f"2PC atomicity violated under {config.protocol} "
+                f"(seed {seed}): txns {sorted(conflicted)[:5]} committed "
+                f"at one shard and aborted at another")
+        server_stats["n_shards"] = config.n_shards
+        server_stats["twopc_commits"] = len(twopc_commits)
+        server_stats["twopc_aborts"] = len(twopc_aborts)
+        server_stats["presumed_aborts"] = sum(
+            getattr(s, "presumed_aborts", 0) for s in server_list)
+        server_stats["distributed_deadlocks"] = (
+            detector.distributed_deadlocks if detector is not None else 0)
     if injector is not None:
         server_stats.update(injector.stats.as_dict())
-        links = [server.reliable] + [c.reliable for c in clients.values()]
+        links = ([s.reliable for s in server_list]
+                 + [c.reliable for c in clients.values()])
         server_stats["retransmissions"] = sum(
             link.retransmissions for link in links)
         server_stats["duplicates_suppressed"] = sum(
             link.duplicates_suppressed for link in links)
         for attr in ("crash_reclaims", "chain_repairs", "watchdog_fires",
-                     "crash_aborts"):
-            if hasattr(server, attr):
-                server_stats[attr] = getattr(server, attr)
+                     "crash_aborts", "terminations_started"):
+            if any(hasattr(s, attr) for s in server_list):
+                server_stats[attr] = sum(getattr(s, attr)
+                                         for s in server_list
+                                         if hasattr(s, attr))
 
     engine_stats = {
         "processed_events": sim.processed_events,

@@ -33,11 +33,17 @@ from repro.protocols.messages import (
     ChainCommit,
     ChainCommitAck,
     CommitAck,
+    CommitDecision,
     CommitRelease,
     DataShip,
+    DecisionAck,
     GShip,
     HandoffNote,
     LockRequest,
+    OutcomeQuery,
+    OutcomeReply,
+    PrepareRequest,
+    PrepareVote,
     ReaderRelease,
     ReleaseWaiver,
     ReturnToServer,
@@ -74,6 +80,12 @@ MESSAGE_TYPES = (
     CommitAck,
     CacheRecall,
     CacheRecallAck,
+    PrepareRequest,
+    PrepareVote,
+    CommitDecision,
+    DecisionAck,
+    OutcomeQuery,
+    OutcomeReply,
 )
 
 _MSG_INDEX = {cls: index for index, cls in enumerate(MESSAGE_TYPES)}

@@ -49,6 +49,42 @@ class UniformTopology:
         return f"UniformTopology(latency={self.base_latency})"
 
 
+class RegionTopology:
+    """Geo-distributed deployments: sites grouped into regions.
+
+    Two latency tiers, modeled on the CockroachDB multi-region worked
+    examples (NYC/SF): sites in the same region are one LAN hop apart
+    (``intra_latency``, ~1 unit), sites in different regions pay the WAN
+    round (``inter_latency``, ~100-750 units). ``region_of`` maps a site
+    id to its region index; sites absent from the map are treated as
+    being in their own private region (always inter-region).
+    """
+
+    def __init__(self, region_of, intra_latency=1.0, inter_latency=100.0):
+        if intra_latency < 0:
+            raise ValueError(f"negative intra-region latency {intra_latency!r}")
+        if inter_latency < 0:
+            raise ValueError(f"negative inter-region latency {inter_latency!r}")
+        self.region_of = dict(region_of)
+        self.intra_latency = intra_latency
+        self.inter_latency = inter_latency
+
+    def latency(self, src, dst):
+        if src == dst:
+            return 0.0
+        src_region = self.region_of.get(src)
+        dst_region = self.region_of.get(dst)
+        if src_region is not None and src_region == dst_region:
+            return self.intra_latency
+        return self.inter_latency
+
+    def __repr__(self):
+        n_regions = len(set(self.region_of.values()))
+        return (f"RegionTopology({len(self.region_of)} sites, "
+                f"{n_regions} regions, intra={self.intra_latency}, "
+                f"inter={self.inter_latency})")
+
+
 class MatrixTopology:
     """General per-pair latencies, e.g. clustered clients far from the server.
 

@@ -37,14 +37,24 @@ class ProbeSampler:
 
 def default_sources(sim, network, server, tracer):
     """The standard gauge set: heap pending, in-flight messages, and —
-    when the protocol server exposes them — lock-queue depth and
-    forward-list occupancy."""
+    when the protocol server(s) expose them — lock-queue depth and
+    forward-list occupancy.
+
+    ``server`` may be a single protocol server or a list of them (sharded
+    deployments); multi-server gauges report the sum over all shards, and
+    a one-element list produces exactly the single-server series.
+    """
+    servers = list(server) if isinstance(server, (list, tuple)) else [server]
     sources = [
         ("heap_pending", lambda: sim.pending),
         ("in_flight_msgs", lambda: tracer.in_flight_total),
     ]
-    if hasattr(server, "queue_depth"):
-        sources.append(("lock_queue_depth", server.queue_depth))
-    if hasattr(server, "fl_occupancy"):
-        sources.append(("fl_occupancy", server.fl_occupancy))
+    with_queue = [s for s in servers if hasattr(s, "queue_depth")]
+    if with_queue:
+        sources.append(("lock_queue_depth",
+                        lambda: sum(s.queue_depth() for s in with_queue)))
+    with_fl = [s for s in servers if hasattr(s, "fl_occupancy")]
+    if with_fl:
+        sources.append(("fl_occupancy",
+                        lambda: sum(s.fl_occupancy() for s in with_fl)))
     return sources

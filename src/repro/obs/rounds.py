@@ -51,6 +51,38 @@ def expected_rounds(protocol, m):
     return 3 * m
 
 
+def expected_txn_rounds(protocol, n_ops, n_homes=1, commit_protocol="2pc"):
+    """Sequential rounds for one *uncontended* transaction of ``n_ops``
+    operations whose items live on ``n_homes`` distinct home servers.
+
+    s-2PL pays request + grant per operation (2m), then the commit:
+
+    - one home server: a single combined commit/release round -> 2m+1;
+    - classic 2PC across k>1 homes: prepare, vote, decide -> 2m+3
+      (fault mode adds one decision-ack round on top);
+    - ``2pc-opt``: the votes ride the last lock grants and the decision
+      doubles as the release, collapsing the commit back to one
+      round -> 2m+1, same as the single-server protocol.
+
+    g-2PL ships the item itself, so an uncontended operation costs
+    request + ship + return (3m); its non-fault commit is client-local
+    (TxnDone rides off the critical path) and costs no rounds — and the
+    count is independent of how many homes the items span, because the
+    per-shard returns overlap.  The g-2PL savings the paper counts come
+    from *contended* windows (see :func:`expected_rounds`), not from
+    this uncontended profile.
+    """
+    if n_ops < 1:
+        raise ValueError(f"n_ops must be >= 1, got {n_ops!r}")
+    if n_homes < 1:
+        raise ValueError(f"n_homes must be >= 1, got {n_homes!r}")
+    if protocol.startswith("g2pl"):
+        return 3 * n_ops
+    if n_homes == 1 or commit_protocol == "2pc-opt":
+        return 2 * n_ops + 1
+    return 2 * n_ops + 3
+
+
 def contended_round_profile(protocol, m, latency=2.0, think=1.0):
     """Run the primed contention scenario traced; returns a
     :class:`RoundProfile` over the ``m`` contenders (the primer is run

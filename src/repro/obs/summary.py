@@ -16,7 +16,11 @@ from dataclasses import dataclass, field
 #: round kinds excluded from the sequential-round total: the MR1W
 #: concurrent writer ship overlaps the read group's rounds instead of
 #: following them, so it adds messages but no response-time rounds.
-NON_SEQUENTIAL_ROUND_KINDS = frozenset({"grant_concurrent"})
+#: Likewise the 2PC vote fan-in and decision-ack fan-in: one participant
+#: (the charge-flagged one) accounts the sequential round, the other
+#: replies travel in parallel with it.
+NON_SEQUENTIAL_ROUND_KINDS = frozenset(
+    {"grant_concurrent", "vote_concurrent", "commit_ack_concurrent"})
 
 #: response-time components, in the order reports print them
 COMPONENTS = ("propagation", "transmission", "server_queue",
@@ -39,6 +43,9 @@ class TraceSummary:
     rounds_total: int = 0
     #: all round charges (incl. non-sequential) over committed measured txns
     rounds_by_kind: dict = field(default_factory=dict)
+    #: shard (home-server site id) -> {kind: count}, sharded runs only —
+    #: empty for single-server runs, keeping their summaries unchanged
+    rounds_by_shard: dict = field(default_factory=dict)
     response_sum: float = 0.0
     propagation_sum: float = 0.0
     transmission_sum: float = 0.0
@@ -135,6 +142,9 @@ class TraceSummary:
             out.aborted += s.aborted
             out.rounds_total += s.rounds_total
             _merge_counts(out.rounds_by_kind, s.rounds_by_kind)
+            for shard, kinds in s.rounds_by_shard.items():
+                _merge_counts(
+                    out.rounds_by_shard.setdefault(shard, {}), kinds)
             out.response_sum += s.response_sum
             out.propagation_sum += s.propagation_sum
             out.transmission_sum += s.transmission_sum

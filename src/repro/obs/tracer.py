@@ -35,6 +35,11 @@ worked-example scenario):
 * ``grant_concurrent`` — the MR1W co-ship; counted but excluded from the
   sequential total (it overlaps the read group's rounds).
 * ``commit`` / ``commit_ack`` — the fault-mode ChainCommit round trip.
+* ``prepare`` / ``vote`` / ``decide`` — the cross-shard 2PC phases
+  (sharded runs): one sequential prepare fan-out, one sequential vote
+  fan-in (the slowest participant; the others count as
+  ``vote_concurrent``), one sequential decision fan-out. Fault-mode
+  decision acks mirror votes as ``commit_ack`` / ``commit_ack_concurrent``.
 """
 
 from dataclasses import dataclass
@@ -55,14 +60,16 @@ class TraceData:
 class _TxnAcc:
     """Accumulating per-transaction charges; finalised into a record."""
 
-    __slots__ = ("txn_id", "client_id", "begin", "rounds", "propagation",
-                 "transmission", "slack", "server_queue", "client_think")
+    __slots__ = ("txn_id", "client_id", "begin", "rounds", "shard_rounds",
+                 "propagation", "transmission", "slack", "server_queue",
+                 "client_think")
 
     def __init__(self, txn_id):
         self.txn_id = txn_id
         self.client_id = None
         self.begin = None
         self.rounds = {}
+        self.shard_rounds = None  # {shard: {kind: count}} (sharded runs)
         self.propagation = 0.0
         self.transmission = 0.0
         self.slack = 0.0
@@ -177,9 +184,22 @@ class Tracer:
             acc = self._live[txn_id] = _TxnAcc(txn_id)
         return acc
 
-    def round_charge(self, txn_id, kind):
-        rounds = self._acc(txn_id).rounds
+    def round_charge(self, txn_id, kind, shard=None):
+        """Count one message round of ``kind`` against ``txn_id``.
+
+        ``shard`` attributes the round to a home server (sharded runs);
+        unsharded charge sites pass nothing and the per-shard table stays
+        empty, keeping their traces byte-identical to pre-sharding runs.
+        """
+        acc = self._acc(txn_id)
+        rounds = acc.rounds
         rounds[kind] = rounds.get(kind, 0) + 1
+        if shard is not None:
+            table = acc.shard_rounds
+            if table is None:
+                table = acc.shard_rounds = {}
+            per_shard = table.setdefault(shard, {})
+            per_shard[kind] = per_shard.get(kind, 0) + 1
 
     def wire_charge(self, txn_id, envelope):
         """Charge an *awaited* message's wire time to the transaction that
@@ -278,6 +298,10 @@ class Tracer:
             # residual: time blocked on other transactions' locks
             "lock_wait": meta["response"] - explained,
         }
+        if acc.shard_rounds:
+            record["rounds_by_shard"] = {
+                shard: dict(kinds)
+                for shard, kinds in acc.shard_rounds.items()}
         record.update(meta)
         return record
 
@@ -305,6 +329,11 @@ class Tracer:
                 for kind, count in record["rounds"].items():
                     summary.rounds_by_kind[kind] = (
                         summary.rounds_by_kind.get(kind, 0) + count)
+                for shard, kinds in record.get("rounds_by_shard",
+                                               {}).items():
+                    cell = summary.rounds_by_shard.setdefault(shard, {})
+                    for kind, count in kinds.items():
+                        cell[kind] = cell.get(kind, 0) + count
                 summary.response_sum += record["response"]
                 summary.propagation_sum += record["propagation"]
                 summary.transmission_sum += record["transmission"]

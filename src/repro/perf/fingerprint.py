@@ -44,7 +44,7 @@ def _metrics_fingerprint(metrics):
 
 
 def _summary_fingerprint(summary):
-    return {
+    out = {
         "runs": summary.runs,
         "committed": summary.committed,
         "aborted": summary.aborted,
@@ -68,6 +68,13 @@ def _summary_fingerprint(summary):
         "processed_events": summary.processed_events,
         "peak_heap_depth": summary.peak_heap_depth,
     }
+    # Only sharded runs populate this; conditional inclusion keeps every
+    # pre-sharding fingerprint (and golden digest) byte-identical.
+    if summary.rounds_by_shard:
+        out["rounds_by_shard"] = _canon({
+            str(shard): kinds
+            for shard, kinds in summary.rounds_by_shard.items()})
+    return out
 
 
 def result_fingerprint(result):

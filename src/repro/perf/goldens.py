@@ -51,6 +51,24 @@ GOLDEN_CELLS = {
         network_latency=100.0, total_transactions=120,
         warmup_transactions=20, trace=True, probe_interval=150.0,
         record_history=False), 11),
+    "s2pl_sharded_traced": (dict(
+        protocol="s2pl", n_clients=6, n_items=8, read_probability=0.6,
+        n_shards=4, n_regions=2, cross_shard_probability=0.5,
+        network_latency=100.0, intra_region_latency=1.0,
+        total_transactions=120, warmup_transactions=20, trace=True,
+        record_history=False), 11),
+    "s2pl_sharded_opt": (dict(
+        protocol="s2pl", n_clients=6, n_items=8, read_probability=0.6,
+        n_shards=4, n_regions=2, cross_shard_probability=0.5,
+        commit_protocol="2pc-opt", network_latency=100.0,
+        intra_region_latency=1.0, total_transactions=120,
+        warmup_transactions=20, record_history=False), 11),
+    "g2pl_sharded_traced": (dict(
+        protocol="g2pl", n_clients=6, n_items=8, read_probability=0.6,
+        n_shards=4, n_regions=2, cross_shard_probability=0.5,
+        network_latency=100.0, intra_region_latency=1.0,
+        total_transactions=120, warmup_transactions=20, trace=True,
+        record_history=False), 11),
 }
 
 

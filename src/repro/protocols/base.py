@@ -17,6 +17,13 @@ class _Dispatcher(Site):
     only (possibly large) delays.
     """
 
+    #: Does this site play the server role? Protocol logic must branch on
+    #: this, never on ``site_id == SERVER_SITE_ID`` — sharded deployments
+    #: run home servers at other site ids.
+    is_server = False
+    #: Shard identity for per-shard round accounting (None = unsharded).
+    shard_tag = None
+
     def __init__(self, site_id):
         super().__init__(site_id)
         self._handlers = {}
@@ -72,8 +79,11 @@ class ProtocolServer(_Dispatcher):
     by default).
     """
 
-    def __init__(self, sim, config, store, wal, history):
-        super().__init__(SERVER_SITE_ID)
+    is_server = True
+
+    def __init__(self, sim, config, store, wal, history,
+                 site_id=SERVER_SITE_ID):
+        super().__init__(site_id)
         self.sim = sim
         self.config = config
         self.store = store
@@ -162,6 +172,10 @@ class ProtocolClient(_Dispatcher):
     :class:`~repro.protocols.transaction.TxnOutcome`.
     """
 
+    #: Item -> home-server routing; None means the single-server layout
+    #: where every item lives at SERVER_SITE_ID.
+    shard_map = None
+
     def __init__(self, sim, client_id, config, history):
         super().__init__(client_id)
         self.sim = sim
@@ -175,6 +189,12 @@ class ProtocolClient(_Dispatcher):
     @property
     def server_id(self):
         return SERVER_SITE_ID
+
+    def home_of(self, item_id):
+        """Site id of the server owning ``item_id``."""
+        if self.shard_map is None:
+            return SERVER_SITE_ID
+        return self.shard_map.server_of(item_id)
 
     @property
     def fault_mode(self):

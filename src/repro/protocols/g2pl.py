@@ -82,7 +82,11 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
     # Only the server's initial ship of a chain is a *grant* round; a
     # forwarding client's ship is the tail of its own handoff round
     # (charged in _forward) — that merge is the point of the protocol.
-    from_server = sender.site_id == SERVER_SITE_ID
+    # Role, not address: sharded home servers live at site ids other than
+    # SERVER_SITE_ID, so checking ``site_id == SERVER_SITE_ID`` here would
+    # silently drop their grant rounds.
+    from_server = sender.is_server
+    shard = sender.shard_tag
     first = fl.head
     if first.is_read_group:
         next_writer = fl[1].writer if len(fl) > 1 else None
@@ -99,7 +103,7 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
                               size=sender.data_ship_size(fl=fl))
             if tracer is not None:
                 if from_server:
-                    tracer.round_charge(ref.txn_id, "grant")
+                    tracer.round_charge(ref.txn_id, "grant", shard=shard)
                 tracer.wire_charge(ref.txn_id, env)
         if next_writer is not None and mr1w:
             env = sender.send(next_writer.client_id,
@@ -113,7 +117,8 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
             if tracer is not None:
                 # Concurrent with the read group's rounds, so it never
                 # extends the sequential chain.
-                tracer.round_charge(next_writer.txn_id, "grant_concurrent")
+                tracer.round_charge(next_writer.txn_id, "grant_concurrent",
+                                    shard=shard)
                 tracer.wire_charge(next_writer.txn_id, env)
     else:
         writer = first.writer
@@ -124,7 +129,7 @@ def dispatch_chain(sender, item_id, version, value, fl, mr1w, epoch=0):
                           size=sender.data_ship_size(fl=fl))
         if tracer is not None:
             if from_server:
-                tracer.round_charge(writer.txn_id, "grant")
+                tracer.round_charge(writer.txn_id, "grant", shard=shard)
             tracer.wire_charge(writer.txn_id, env)
 
 
@@ -190,8 +195,9 @@ class _TxnEntry:
 class G2PLServer(ProtocolServer):
     """The data server running group 2PL."""
 
-    def __init__(self, sim, config, store, wal, history):
-        super().__init__(sim, config, store, wal, history)
+    def __init__(self, sim, config, store, wal, history,
+                 site_id=SERVER_SITE_ID):
+        super().__init__(sim, config, store, wal, history, site_id=site_id)
         self._items = {item_id: _ItemState(item_id)
                        for item_id in store.item_ids()}
         self.precedence = PrecedenceGraph()
@@ -737,6 +743,10 @@ class G2PLClient(ProtocolClient):
         # transaction has finished but its holds are not all forwarded yet.
         self._txn_state = {}
         self._commit_events = {}  # txn_id -> Event awaiting ChainCommitAck
+        # txn_id -> home servers this transaction touched; TxnDone must
+        # reach every one of them (a single-server layout touches only
+        # SERVER_SITE_ID and degenerates to one notification).
+        self._txn_servers = {}
 
     def reset_protocol_state(self):
         self._active.clear()
@@ -746,6 +756,7 @@ class G2PLClient(ProtocolClient):
         self._txn_holds.clear()
         self._txn_state.clear()
         self._commit_events.clear()
+        self._txn_servers.clear()
 
     # -- message handlers ----------------------------------------------------
 
@@ -783,7 +794,7 @@ class G2PLClient(ProtocolClient):
                 # or a pre-crash transaction a restarted site no longer
                 # remembers. Re-assert the release so the next repair round
                 # routes around this position instead of waiting on it.
-                self.send_control(self.server_id,
+                self.send_control(self.home_of(msg.item_id),
                                   HandoffNote(item_id=msg.item_id,
                                               from_txn=msg.txn_id,
                                               epoch=msg.epoch))
@@ -901,16 +912,33 @@ class G2PLClient(ProtocolClient):
         self._maybe_done(txn_id)
 
     def _maybe_done(self, txn_id):
-        """Once every hold has been forwarded, tell the server the
-        transaction is fully over (it leaves the precedence graph only
-        then — it can still constrain orders while it holds data)."""
+        """Once every hold has been forwarded, tell every touched home
+        server the transaction is fully over (it leaves the precedence
+        graph only then — it can still constrain orders while it holds
+        data)."""
         if self._txn_holds.get(txn_id):
             return
         state = self._txn_state.pop(txn_id, None)
+        if state is None:
+            return
+        targets = self._txn_servers.pop(txn_id, None)
+        if targets is None:
+            targets = (self.server_id,)
+        else:
+            targets = sorted(targets)
         if state in ("committed", "aborted"):
-            self.send_control(self.server_id,
-                              TxnDone(txn_id=txn_id,
-                                      committed=state == "committed"))
+            for target in targets:
+                self.send_control(target,
+                                  TxnDone(txn_id=txn_id,
+                                          committed=state == "committed"))
+        elif state == "aborted-server" and len(targets) > 1:
+            # The aborting home server already retired the transaction, but
+            # in a sharded run the *other* touched servers never hear about
+            # the abort — without this fan-out the transaction would pin
+            # the shared precedence graph (and its chain slots) forever.
+            for target in targets:
+                self.send_control(target,
+                                  TxnDone(txn_id=txn_id, committed=False))
 
     def _forward(self, hold):
         """Pass the item to the FL successor (or home to the server)."""
@@ -949,7 +977,7 @@ class G2PLClient(ProtocolClient):
                     # data, so its wire counts against the writer.
                     tracer.wire_charge(writer.txn_id, env)
             else:
-                self.send(self.server_id,
+                self.send(self.home_of(hold.item_id),
                           ReturnToServer(item_id=hold.item_id,
                                          version=out_version, value=out_value,
                                          from_txn=hold.txn_id,
@@ -966,7 +994,7 @@ class G2PLClient(ProtocolClient):
                 successor = (head.txns[0].client_id if head.is_read_group
                              else head.writer.client_id)
             else:
-                self.send(self.server_id,
+                self.send(self.home_of(hold.item_id),
                           ReturnToServer(item_id=hold.item_id,
                                          version=out_version, value=out_value,
                                          from_txn=hold.txn_id,
@@ -987,7 +1015,7 @@ class G2PLClient(ProtocolClient):
         if forwarded_to_client and self.fault_mode:
             # Progress beacon for the stalled-chain watchdog: this member
             # has passed the item on (returns speak for themselves).
-            self.send_control(self.server_id,
+            self.send_control(self.home_of(hold.item_id),
                               HandoffNote(item_id=hold.item_id,
                                           from_txn=hold.txn_id,
                                           epoch=hold.epoch))
@@ -1044,7 +1072,9 @@ class G2PLClient(ProtocolClient):
         tracer = self.sim.tracer
         try:
             for op in txn.spec.operations:
-                env = self.send(self.server_id,
+                home = self.home_of(op.item_id)
+                self._txn_servers.setdefault(txn.txn_id, set()).add(home)
+                env = self.send(home,
                                 LockRequest(txn_id=txn.txn_id,
                                             item_id=op.item_id,
                                             mode=op.mode,

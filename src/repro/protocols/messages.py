@@ -22,11 +22,19 @@ class LockRequest:
     item_id: int
     mode: object  # LockMode
     client_id: int = None
+    # Sharded "2pc-opt" commit: True on the transaction's last request at
+    # this home server — the grant should carry the shard's prepare vote.
+    vote_request: bool = False
 
 
 @dataclass(frozen=True)
 class DataShip:
-    """Server → client (s-2PL/c-2PL): lock granted, data attached."""
+    """Server → client (s-2PL/c-2PL): lock granted, data attached.
+
+    ``vote`` (sharded "2pc-opt" commit): the grant doubles as this home
+    server's PREPARED vote — granting the transaction's last lock at the
+    shard is consenting to commit it.
+    """
 
     txn_id: int
     item_id: int
@@ -34,6 +42,7 @@ class DataShip:
     value: object
     mode: object
     from_cache_grant: bool = False
+    vote: bool = False
 
 
 @dataclass(frozen=True)
@@ -238,3 +247,94 @@ class CacheRecallAck:
     client_id: int
     final: bool = True
     busy_txn: int = None
+
+
+# -- cross-shard atomic commit (sharded deployments) -------------------------
+
+@dataclass(frozen=True)
+class PrepareRequest:
+    """Coordinator (client) → participant home server: 2PC phase one.
+
+    ``updates`` carries what this participant must install on commit —
+    for s-2PL its own shard's item -> value map; for g-2PL the
+    transaction's full item -> (version, value) writes map (every
+    participant stages it, so any single surviving participant can answer
+    a termination query authoritatively). ``participants`` names every
+    home server of the transaction, enabling the cooperative termination
+    protocol when the coordinator crashes after prepare.
+    ``charge`` marks the one participant that accounts the sequential
+    "vote" round (the other votes travel concurrently).
+    """
+
+    txn_id: int
+    client_id: int
+    updates: dict
+    read_items: tuple = ()
+    participants: tuple = ()
+    charge: bool = False
+
+
+@dataclass(frozen=True)
+class PrepareVote:
+    """Participant home server → coordinator: PREPARED (or refused)."""
+
+    txn_id: int
+    shard: int  # voting server's site id
+    vote: bool
+    charge: bool = False
+
+
+@dataclass(frozen=True)
+class CommitDecision:
+    """Coordinator → participant: 2PC phase two.
+
+    ``updates`` is None for classic 2PC (staged at prepare) and carries
+    the participant's item -> value map under "2pc-opt", where votes
+    piggybacked on lock grants and nothing was staged. ``commit_time``
+    is set in fault mode (participants record the history commit on
+    receipt, stamped with the coordinator's decision time). ``ack``
+    requests a DecisionAck (fault mode: the coordinator only counts as
+    committed once every participant has durably decided).
+    """
+
+    txn_id: int
+    commit: bool
+    updates: dict = None
+    commit_time: float = None
+    ack: bool = False
+    charge: bool = False
+
+
+@dataclass(frozen=True)
+class DecisionAck:
+    """Participant → coordinator, fault mode: decision applied."""
+
+    txn_id: int
+    shard: int
+    charge: bool = False
+
+
+@dataclass(frozen=True)
+class OutcomeQuery:
+    """Participant → participant, cooperative termination.
+
+    Sent by a home server stuck with a PREPARED transaction whose
+    coordinator crashed: ask the other participants what they know.
+    """
+
+    txn_id: int
+    from_shard: int
+
+
+@dataclass(frozen=True)
+class OutcomeReply:
+    """Termination answer: this shard's view of the transaction.
+
+    ``status`` is one of "committed", "aborted", "prepared", "unknown".
+    Status alone suffices — every prepared participant already staged the
+    writes it would need to commit.
+    """
+
+    txn_id: int
+    shard: int
+    status: str

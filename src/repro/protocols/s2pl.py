@@ -16,7 +16,11 @@ Protocol (§3.1, §4):
 from repro.locking.lock_table import LockRequestState, LockTable
 from repro.locking.modes import LockMode
 from repro.locking.waitfor import WaitForGraph
-from repro.protocols.base import ProtocolClient, ProtocolServer
+from repro.protocols.base import (
+    SERVER_SITE_ID,
+    ProtocolClient,
+    ProtocolServer,
+)
 from repro.protocols.messages import (
     AbortNotice,
     AbortRelease,
@@ -34,8 +38,9 @@ VICTIM_POLICIES = ("requester", "youngest", "oldest")
 class S2PLServer(ProtocolServer):
     """The data server running strict 2PL."""
 
-    def __init__(self, sim, config, store, wal, history):
-        super().__init__(sim, config, store, wal, history)
+    def __init__(self, sim, config, store, wal, history,
+                 site_id=SERVER_SITE_ID):
+        super().__init__(sim, config, store, wal, history, site_id=site_id)
         self.lock_table = LockTable()
         # txn_id -> (client_id, first_seen_time); live transactions only.
         self._txns = {}
@@ -167,7 +172,7 @@ class S2PLServer(ProtocolServer):
         if tracer is not None:
             tracer.emit("lock.grant", txn=txn_id, item=item_id,
                         mode=mode.name)
-            tracer.round_charge(txn_id, "grant")
+            tracer.round_charge(txn_id, "grant", shard=self.shard_tag)
             tracer.wire_charge(txn_id, env)
 
     def queue_depth(self):

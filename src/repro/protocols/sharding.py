@@ -1,0 +1,243 @@
+"""Shard maps, geo-placement, and cross-shard coordination helpers.
+
+The sharded deployment partitions the item space across N *home servers*
+(shards). Clients route every item-scoped message to the owning server
+via the :class:`ShardMap`; the map also fixes the geo-placement used by
+:class:`~repro.network.topology.RegionTopology` (shard k lives in region
+``k % n_regions``, client c in region ``(c - 1) % n_regions``), so a
+client is co-located with its home shard and pays the WAN latency only
+for remote items.
+
+Site-id scheme: shard 0 keeps ``SERVER_SITE_ID`` (0) for backward
+compatibility with every single-server code path; shard k (k >= 1) lives
+at site ``-k``. Client site ids stay 1..n_clients, so the two id spaces
+can never collide.
+
+Cross-shard coordination state shared between shard servers:
+
+* :class:`SharedPrecedence` — one precedence DAG for all g-2PL shards,
+  reference-counted so a transaction leaves the graph only when *every*
+  shard that registered it has retired it.
+* :class:`GlobalDeadlockDetector` — the s-2PL union-of-wait-for-graphs
+  detector: per-shard detection cannot see a cycle whose edges span
+  shards, so a periodic sweep unions the local graphs and aborts victims.
+"""
+
+from repro.locking.waitfor import WaitForGraph
+from repro.protocols.base import SERVER_SITE_ID
+from repro.protocols.precedence import PrecedenceGraph
+from repro.sim.timers import Timer
+
+
+def partition_items(n_items, n_shards):
+    """Contiguous, near-equal partition of ``range(n_items)``.
+
+    Returns a tuple of ``n_shards`` tuples. The first ``n_items %
+    n_shards`` shards get one extra item. Shared by the shard map and the
+    workload generator so "the client's home shard items" means the same
+    set in both layers.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > n_items:
+        raise ValueError(
+            f"n_shards {n_shards} exceeds the {n_items}-item pool")
+    base, extra = divmod(n_items, n_shards)
+    partitions = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        partitions.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(partitions)
+
+
+def shard_site_id(shard):
+    """Site id of shard ``shard``: 0 for shard 0, -k for shard k."""
+    return SERVER_SITE_ID if shard == 0 else -shard
+
+
+class ShardMap:
+    """Item -> shard -> home-server routing table.
+
+    ``assignments`` (optional) overrides the default contiguous
+    partition with an explicit item -> shard map covering every item in
+    ``range(n_items)`` — the correctness battery uses this to exercise
+    random shard maps.
+    """
+
+    def __init__(self, n_shards, n_items, assignments=None):
+        if assignments is None:
+            partitions = partition_items(n_items, n_shards)
+            self._shard_of = {}
+            for shard, items in enumerate(partitions):
+                for item_id in items:
+                    self._shard_of[item_id] = shard
+        else:
+            if set(assignments) != set(range(n_items)):
+                raise ValueError(
+                    "assignments must cover exactly range(n_items)")
+            bad = {s for s in assignments.values()
+                   if not 0 <= s < n_shards}
+            if bad:
+                raise ValueError(f"assignments name unknown shards {bad}")
+            self._shard_of = dict(assignments)
+        self.n_shards = n_shards
+        self.n_items = n_items
+        self._items_of = {shard: [] for shard in range(n_shards)}
+        for item_id in range(n_items):
+            self._items_of[self._shard_of[item_id]].append(item_id)
+        self._items_of = {shard: tuple(items)
+                          for shard, items in self._items_of.items()}
+
+    def shard_of(self, item_id):
+        return self._shard_of[item_id]
+
+    def server_of(self, item_id):
+        """Site id of the home server owning ``item_id``."""
+        return shard_site_id(self._shard_of[item_id])
+
+    def items_of(self, shard):
+        return self._items_of[shard]
+
+    @property
+    def server_ids(self):
+        """All home-server site ids, shard order (0, -1, -2, ...)."""
+        return tuple(shard_site_id(s) for s in range(self.n_shards))
+
+    def region_assignments(self, n_clients, n_regions):
+        """Site -> region placement for a :class:`RegionTopology`.
+
+        Shard k lives in region ``k % n_regions``; client c in region
+        ``(c - 1) % n_regions`` — co-located with its home shard (the
+        workload generator uses the same formula), so local transactions
+        stay intra-region.
+        """
+        region_of = {}
+        for shard in range(self.n_shards):
+            region_of[shard_site_id(shard)] = shard % n_regions
+        for client_id in range(1, n_clients + 1):
+            region_of[client_id] = (client_id - 1) % n_regions
+        return region_of
+
+    def __repr__(self):
+        return f"ShardMap(shards={self.n_shards}, items={self.n_items})"
+
+
+class SharedPrecedence(PrecedenceGraph):
+    """One precedence DAG shared by every g-2PL shard server.
+
+    Cross-shard deadlock avoidance needs cross-shard visibility: a
+    transaction's chain position at shard A must order it against
+    requests at shard B. All shard servers therefore point at one graph —
+    but each server retires a transaction independently (TxnDone fans out
+    to every touched shard), so node removal is reference-counted: the
+    node (and its edges) really disappears only when the last registered
+    shard lets go.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._refs = {}
+
+    def acquire(self, txn_id):
+        """One shard registered ``txn_id``; pin its node."""
+        self._refs[txn_id] = self._refs.get(txn_id, 0) + 1
+        self.add_node(txn_id)
+
+    def remove_node(self, txn_id):
+        refs = self._refs.get(txn_id, 0)
+        if refs > 1:
+            self._refs[txn_id] = refs - 1
+            return
+        self._refs.pop(txn_id, None)
+        super().remove_node(txn_id)
+
+    def refcount(self, txn_id):
+        return self._refs.get(txn_id, 0)
+
+
+class GlobalDeadlockDetector:
+    """Periodic union-of-wait-for-graphs detection for sharded s-2PL.
+
+    Each shard server detects cycles among its own lock queues, but a
+    distributed deadlock (T1 waits at shard A for T2, which waits at
+    shard B for T1) has no local cycle anywhere. This detector
+    periodically unions every shard's wait-for edges, finds cycles, and
+    aborts one victim per cycle through the shard where the victim is
+    waiting (a waiting transaction has a queued request at exactly the
+    shards it is blocked at; aborting it there triggers the normal
+    AbortNotice -> client abort -> AbortRelease fan-out that releases
+    its locks everywhere).
+
+    Deterministic: driven by a simulation timer, iterating servers in
+    shard order and cycles in detection order.
+    """
+
+    def __init__(self, sim, servers, interval, victim_policy="requester",
+                 stop_when=None):
+        self.sim = sim
+        self.servers = list(servers)
+        self.interval = interval
+        self.victim_policy = victim_policy
+        self.stop_when = stop_when
+        self.distributed_deadlocks = 0
+        self._timer = None
+
+    def start(self):
+        self._timer = Timer(self.sim, self.interval, self._tick)
+        return self
+
+    def _tick(self):
+        self._sweep()
+        if self.stop_when is None or not self.stop_when():
+            self._timer = Timer(self.sim, self.interval, self._tick)
+
+    def _collect(self):
+        """Union wait-for graph + bookkeeping for victim selection."""
+        union = WaitForGraph()
+        waiting_at = {}   # txn -> first server it was seen waiting at
+        first_seen = {}   # txn -> min first_seen across shards
+        for server in self.servers:
+            table = server.lock_table
+            for item_id in list(table._items):
+                for txn_id, _mode in table.waiters(item_id):
+                    union.add_edges(txn_id,
+                                    table.blockers_of(txn_id, item_id))
+                    waiting_at.setdefault(txn_id, server)
+            for txn_id, (_client, seen) in server._txns.items():
+                if txn_id not in first_seen or seen < first_seen[txn_id]:
+                    first_seen[txn_id] = seen
+        return union, waiting_at, first_seen
+
+    def _choose_victim(self, cycle, first_seen):
+        members = list(dict.fromkeys(cycle))
+        if self.victim_policy == "requester":
+            return members[0]
+        ages = {txn: first_seen.get(txn, 0.0) for txn in members}
+        if self.victim_policy == "youngest":
+            return max(members, key=lambda txn: (ages[txn], txn))
+        return min(members, key=lambda txn: (ages[txn], txn))
+
+    def _sweep(self):
+        union, waiting_at, first_seen = self._collect()
+        while True:
+            cycle = union.find_any_cycle()
+            if cycle is None:
+                return
+            victim = self._choose_victim(cycle, first_seen)
+            server = waiting_at.get(victim)
+            if (server is None or victim not in server._txns
+                    or victim in server._dead):
+                # The cycle resolved between collection and now (a local
+                # detector beat us to it); drop the node and move on.
+                union.remove_node(victim)
+                continue
+            self.distributed_deadlocks += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit("lock.deadlock.distributed", victim=victim,
+                            cycle=len(set(cycle)),
+                            shard=server.site_id)
+            server._abort(victim, reason="distributed-deadlock")
+            union.remove_node(victim)

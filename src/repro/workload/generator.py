@@ -1,6 +1,7 @@
 """Random transaction generation per Table 1."""
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.locking.modes import LockMode
 from repro.workload.spec import Operation, TransactionSpec
@@ -27,6 +28,13 @@ class WorkloadParams:
     idle_min: float = 2.0
     idle_max: float = 10.0
     access_skew: float = 0.0
+    # Sharded workloads: with cross_shard_probability = p, a transaction
+    # is cross-shard-eligible with probability p (items drawn from the
+    # full pool) and otherwise local to the client's home shard. None
+    # keeps the single-pool draw sequence byte-identical to PR 5 runs
+    # regardless of n_shards.
+    n_shards: int = 1
+    cross_shard_probability: Optional[float] = None
 
     def __post_init__(self):
         if not 0.0 <= self.read_probability <= 1.0:
@@ -45,6 +53,17 @@ class WorkloadParams:
             raise ValueError("invalid idle time range")
         if self.access_skew < 0:
             raise ValueError(f"negative access_skew {self.access_skew}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.n_shards > self.n_items:
+            raise ValueError(
+                f"n_shards {self.n_shards} exceeds the "
+                f"{self.n_items}-item pool")
+        if self.cross_shard_probability is not None and not (
+                0.0 <= self.cross_shard_probability <= 1.0):
+            raise ValueError(
+                f"cross_shard_probability {self.cross_shard_probability} "
+                f"outside [0, 1]")
 
     def item_weights(self):
         """Unnormalised popularity weights, item id = popularity rank."""
@@ -83,13 +102,19 @@ class WorkloadGenerator:
             self._txn_streams[client_id] = stream
         return stream
 
-    def _sample_items(self, rng, n_ops):
+    def _sample_items(self, rng, n_ops, pool=None):
         params = self.params
-        if params.access_skew == 0.0:
-            return rng.sample(range(params.n_items), n_ops)
+        if pool is None:
+            if params.access_skew == 0.0:
+                return rng.sample(range(params.n_items), n_ops)
+            available = list(range(params.n_items))
+        else:
+            available = list(pool)
+            if params.access_skew == 0.0:
+                return rng.sample(available, n_ops)
         # Weighted sampling without replacement (successive draws).
-        weights = list(params.item_weights())
-        available = list(range(params.n_items))
+        all_weights = params.item_weights()
+        weights = [all_weights[item] for item in available]
         chosen = []
         for _ in range(n_ops):
             total = sum(weights)
@@ -105,12 +130,32 @@ class WorkloadGenerator:
             weights.pop(index)
         return chosen
 
+    def home_shard(self, client_id):
+        """The shard whose items a client's local transactions draw from."""
+        return (client_id - 1) % self.params.n_shards
+
+    def _home_pool(self, client_id):
+        from repro.protocols.sharding import partition_items
+
+        partitions = partition_items(self.params.n_items,
+                                     self.params.n_shards)
+        return partitions[self.home_shard(client_id)]
+
     def next_spec(self, client_id):
         """Generate the next transaction for ``client_id``."""
         params = self.params
         rng = self._txn_stream(client_id)
         n_ops = rng.randint(params.min_ops, params.max_ops)
-        items = self._sample_items(rng, n_ops)
+        if params.cross_shard_probability is None:
+            items = self._sample_items(rng, n_ops)
+        elif rng.random() < params.cross_shard_probability:
+            # Cross-shard-eligible: draw from the full pool, so the
+            # transaction spans home servers whenever the draw does.
+            items = self._sample_items(rng, n_ops)
+        else:
+            # Local: confined to the client's home shard.
+            pool = self._home_pool(client_id)
+            items = self._sample_items(rng, min(n_ops, len(pool)), pool)
         read_probability = params.read_probability
         think_min = params.think_min
         think_max = params.think_max

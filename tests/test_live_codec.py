@@ -88,6 +88,18 @@ def _field_strategy(cls, field):
         ("ReturnToServer", "outcomes"):
             st.dictionaries(ids, st.sampled_from(["committed", "aborted"]),
                             max_size=4),
+        ("PrepareRequest", "updates"):
+            st.dictionaries(ids, st.one_of(
+                st.text(max_size=12),
+                st.tuples(ids, st.text(max_size=12))), max_size=4),
+        ("PrepareRequest", "read_items"): st.lists(ids, max_size=4).map(tuple),
+        ("PrepareRequest", "participants"):
+            st.lists(ids, max_size=4).map(tuple),
+        ("CommitDecision", "updates"):
+            st.one_of(st.none(),
+                      st.dictionaries(ids, st.text(max_size=12), max_size=4)),
+        ("OutcomeReply", "status"):
+            st.sampled_from(["committed", "aborted", "prepared", "unknown"]),
     }
     key = (cls.__name__, field.name)
     if key in specials:
@@ -101,7 +113,8 @@ def _field_strategy(cls, field):
         return st.one_of(st.none(), floats)
     if name in ("reason",):
         return st.text(max_size=20)
-    if name in ("committed", "final", "from_cache_grant", "carries_data"):
+    if name in ("committed", "final", "from_cache_grant", "carries_data",
+                "vote", "vote_request", "charge", "ack", "commit"):
         return st.booleans()
     if name in ("busy_txn", "client_id") and field.default is None:
         return st.one_of(st.none(), ids)

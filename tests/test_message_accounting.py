@@ -87,6 +87,72 @@ def test_g2pl_ships_less_data_than_s2pl():
         assert g_stats.data_units_sent < s_stats.data_units_sent
 
 
+def _uncontended_sharded_run(protocol, commit_protocol="2pc", txns=10):
+    """One client, four single-item shards, every transaction touching
+    all four items: each commit is a 4-op, 4-home transaction, so the
+    per-commit rounds are exactly the closed form."""
+    from repro.core.runner import run_simulation
+
+    config = SimulationConfig(
+        protocol=protocol, n_clients=1, n_items=4, n_shards=4,
+        cross_shard_probability=1.0, commit_protocol=commit_protocol,
+        min_ops=4, max_ops=4, read_probability=0.0, network_latency=5.0,
+        total_transactions=txns, warmup_transactions=0, trace=True,
+        seed=3)
+    result = run_simulation(config)
+    summary = result.trace.summary
+    assert summary.committed == txns
+    return summary
+
+
+def test_sharded_s2pl_classic_2pc_rounds_match_closed_form():
+    """Classic 2PC: request + grant per op, then prepare, vote, decide —
+    2m+3 sequential rounds (the m=4-op transaction pays 11)."""
+    from repro.obs.rounds import expected_txn_rounds
+
+    summary = _uncontended_sharded_run("s2pl", "2pc")
+    expected = expected_txn_rounds("s2pl", 4, n_homes=4)
+    assert summary.rounds_total == summary.committed * expected
+    # message counts: one PrepareRequest / PrepareVote / CommitDecision
+    # per participant shard per transaction
+    per_kind = summary.msgs_by_kind
+    assert per_kind["PrepareRequest"] == 4 * summary.committed
+    assert per_kind["PrepareVote"] == 4 * summary.committed
+    assert per_kind["CommitDecision"] == 4 * summary.committed
+
+
+def test_sharded_s2pl_opt_commit_rounds_match_closed_form():
+    """2pc-opt: votes ride the last grants and the decision doubles as
+    the release — back to 2m+1, two rounds saved per commit."""
+    from repro.obs.rounds import expected_txn_rounds
+
+    classic = _uncontended_sharded_run("s2pl", "2pc")
+    opt = _uncontended_sharded_run("s2pl", "2pc-opt")
+    expected = expected_txn_rounds("s2pl", 4, n_homes=4,
+                                   commit_protocol="2pc-opt")
+    assert opt.rounds_total == opt.committed * expected
+    assert (classic.rounds_total - opt.rounds_total
+            == 2 * opt.committed)
+    # no separate prepare phase on the wire
+    assert "PrepareRequest" not in opt.msgs_by_kind
+    assert "PrepareVote" not in opt.msgs_by_kind
+    assert opt.msgs_by_kind["CommitDecision"] == 4 * opt.committed
+
+
+def test_sharded_g2pl_commits_without_commit_messages():
+    """Non-fault sharded g-2PL: the client commits locally and TxnDone
+    retires the chains — zero 2PC messages, 3m rounds (request + ship +
+    return per op)."""
+    from repro.obs.rounds import expected_txn_rounds
+
+    summary = _uncontended_sharded_run("g2pl")
+    expected = expected_txn_rounds("g2pl", 4, n_homes=4)
+    assert summary.rounds_total == summary.committed * expected
+    for kind in ("PrepareRequest", "PrepareVote", "CommitDecision",
+                 "ChainCommit"):
+        assert kind not in summary.msgs_by_kind
+
+
 def test_completion_time_gap_matches_round_arithmetic():
     """End-to-end: the last transaction completes (m-1) x latency earlier
     under g-2PL — one saved round per handoff."""
