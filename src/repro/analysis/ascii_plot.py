@@ -1,5 +1,6 @@
 """Minimal ASCII line plots for experiment series (bench output)."""
 
+from repro.analysis.tables import _format_number
 
 _MARKERS = "*x+o#@"
 
@@ -28,7 +29,7 @@ def ascii_plot(result, width=64, height=16):
             row = height - 1 - round((y - y_min) / span * (height - 1))
             grid[row][col] = marker
     lines = [result.title]
-    lines.append(f"y: {result.y_label}  (max {y_max:,.1f})")
+    lines.append(f"y: {result.y_label}  (max {_format_number(y_max)})")
     for row in grid:
         lines.append("|" + "".join(row))
     lines.append("+" + "-" * width)

@@ -1,10 +1,19 @@
 """Plain-text rendering of experiment results."""
 
 
+def _format_number(value):
+    # One decimal everywhere except genuinely small magnitudes (e.g. the
+    # scale figure's throughput in txns per time unit), which would all
+    # collapse to "0.0".
+    if 0.0 < abs(value) < 0.1:
+        return f"{value:.3g}"
+    return f"{value:,.1f}"
+
+
 def _format_value(value, half_width):
     if half_width:
-        return f"{value:,.1f} ±{half_width:,.1f}"
-    return f"{value:,.1f}"
+        return f"{_format_number(value)} ±{_format_number(half_width)}"
+    return f"{_format_number(value)}"
 
 
 def render_experiment(result, improvement_between=None):

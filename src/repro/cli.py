@@ -57,6 +57,36 @@ def _add_workload_args(parser):
         help="probability a transaction draws from the full item pool "
              "instead of its home shard (default: every draw is global)")
     parser.add_argument(
+        "--population", type=int, default=None, metavar="N",
+        help="multiplex N logical users over the client sites with "
+             "open-arrival traffic (default: the paper's closed-loop "
+             "terminals)")
+    parser.add_argument(
+        "--arrival", default="poisson",
+        choices=("poisson", "burst", "diurnal"),
+        help="open-arrival process shape (with --population)")
+    parser.add_argument(
+        "--arrival-rate", type=float, default=0.001, metavar="R",
+        help="transactions per user per time unit (with --population)")
+    parser.add_argument(
+        "--zipf", type=float, default=None, metavar="S",
+        help="Zipf-like access skew (item at rank r has weight "
+             "1/(r+1)^S; default 0 = uniform)")
+    parser.add_argument(
+        "--txn-mix", default=None, metavar="MIX",
+        help="transaction classes 'name:weight:min-max:read_prob,...' "
+             "e.g. 'browse:6:1-3:0.9,update:3:2-5:0.3' "
+             "(with --population)")
+    parser.add_argument(
+        "--max-inflight", type=int, default=256, metavar="K",
+        help="admission control: shed arrivals beyond K in-flight "
+             "transactions per site (with --population)")
+    parser.add_argument(
+        "--streaming", default=None, choices=("on", "off", "auto"),
+        help="bounded-memory metrics (reservoir percentiles, running "
+             "moments); auto switches on above the streaming "
+             "threshold (default: auto)")
+    parser.add_argument(
         "--trace", action="store_true",
         help="collect structured trace events and per-transaction "
              "round/latency accounting (metrics stay bit-identical)")
@@ -82,6 +112,8 @@ def _add_jobs_arg(parser):
 
 
 def _config_from(args, protocol):
+    streaming = {"on": True, "off": False,
+                 "auto": None, None: None}[getattr(args, "streaming", None)]
     return SimulationConfig(
         protocol=protocol, n_clients=args.clients, n_items=args.items,
         read_probability=args.pr, network_latency=args.latency,
@@ -93,6 +125,13 @@ def _config_from(args, protocol):
         intra_region_latency=getattr(args, "intra_latency", 1.0),
         commit_protocol=getattr(args, "commit", "2pc"),
         cross_shard_probability=getattr(args, "cross_shard", None),
+        population=getattr(args, "population", None),
+        arrival=getattr(args, "arrival", "poisson"),
+        arrival_rate=getattr(args, "arrival_rate", 0.001),
+        access_skew=getattr(args, "zipf", None) or 0.0,
+        txn_mix=getattr(args, "txn_mix", None),
+        max_inflight_per_site=getattr(args, "max_inflight", 256),
+        streaming=streaming,
         trace=getattr(args, "trace", False),
         probe_interval=getattr(args, "probe_interval", None),
         record_history=False)
@@ -253,6 +292,14 @@ def _cmd_figure(args):
     elif number in ("loss", "loss-aborts"):
         metric = "aborts" if number == "loss-aborts" else "response"
         show(exp.figure_loss_sweep(metric, fidelity=fidelity, jobs=jobs))
+    elif number == "scale":
+        results = exp.population_scale_experiment(fidelity=fidelity,
+                                                  jobs=jobs)
+        show(results["throughput"], improvement=None)
+        print()
+        show(results["p99"], improvement=None)
+        for note in results["throughput"].notes:
+            print(note)
     elif number == "shard-crossover":
         from repro.analysis.crossover import (
             describe_shard_grid,
@@ -266,7 +313,7 @@ def _cmd_figure(args):
         print(describe_shard_grid(regimes))
     else:
         print(f"unknown figure {number!r}; choose 1-15, loss, "
-              f"loss-aborts, or shard-crossover", file=sys.stderr)
+              f"loss-aborts, scale, or shard-crossover", file=sys.stderr)
         return 2
     return 0
 
@@ -324,6 +371,8 @@ def _cmd_list(_args):
           "10 (read-only deadlocks), 11 (forward-list length), "
           "12-15 (client scalability), loss / loss-aborts "
           "(fault injection: metrics vs message-loss probability), "
+          "scale (open-arrival population: throughput and p99 vs "
+          "logical users, uniform vs Zipf hot keys), "
           "shard-crossover (shard count x inter-region latency "
           "dominance grid)")
     print("fidelities:", ", ".join(f.label for f in Fidelity))

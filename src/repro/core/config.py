@@ -85,6 +85,44 @@ class SimulationConfig:
     # (items drawn from the full pool) and home-shard-local otherwise
     cross_shard_probability: Optional[float] = None
 
+    # open-arrival client populations. With population = N, each client
+    # site stops being one closed-loop MPL-1 terminal and instead
+    # multiplexes its share of N logical users as a state machine: traffic
+    # arrives via an open arrival process ("poisson", "burst", or
+    # "diurnal") at arrival_rate transactions per user per time unit,
+    # with Zipf hot-key skew (access_skew) and a mixed transaction-class
+    # profile (txn_mix). None keeps the paper's closed-loop driver and a
+    # byte-identical trajectory for every existing experiment and golden.
+    population: Optional[int] = None
+    arrival: str = "poisson"
+    arrival_rate: float = 0.001
+    # burst arrivals: the first burst_fraction of every burst_period runs
+    # at burst_factor x the base rate, the rest at a reduced rate chosen
+    # so the long-run mean stays arrival_rate
+    burst_factor: float = 6.0
+    burst_fraction: float = 0.1
+    burst_period: float = 2000.0
+    # diurnal arrivals: rate(t) = base * (1 + amplitude*sin(2*pi*t/period))
+    diurnal_period: float = 20000.0
+    diurnal_amplitude: float = 0.8
+    # transaction-class mix, e.g. "browse:6:1-3:0.9,update:3:2-5:0.3";
+    # each class is name:weight:min-max:read_probability. None = one
+    # class with the workload's min_ops/max_ops/read_probability.
+    txn_mix: Optional[str] = None
+    # admission control: arrivals beyond this many in-flight transactions
+    # per site are shed (counted, not queued) — bounds memory and models
+    # a saturated front door rather than an infinite backlog
+    max_inflight_per_site: int = 256
+
+    # streaming metrics: None auto-selects bounded-memory reservoir/
+    # Welford collection when total_transactions exceeds
+    # streaming_threshold; True/False force the choice. Small runs keep
+    # exact per-transaction lists so goldens stay byte-identical.
+    streaming: Optional[bool] = None
+    streaming_threshold: int = 20_000
+    reservoir_capacity: int = 8192
+    throughput_window: float = 1000.0
+
     # fault injection: a FaultSpec, a spec string for FaultSpec.parse
     # ("loss=0.05,crash=3@10000:20000"), or None for a perfect network
     faults: Optional[object] = None
@@ -138,6 +176,51 @@ class SimulationConfig:
         if self.cross_shard_probability is not None and not (
                 0.0 <= self.cross_shard_probability <= 1.0):
             raise ValueError("cross_shard_probability outside [0, 1]")
+        if self.population is not None:
+            if self.population < self.n_clients:
+                raise ValueError(
+                    f"population {self.population} below n_clients "
+                    f"{self.n_clients}: every site needs >= 1 logical user")
+            if self.arrival_rate <= 0:
+                raise ValueError("arrival_rate must be positive")
+        if self.arrival not in ("poisson", "burst", "diurnal"):
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r} "
+                f"(expected 'poisson', 'burst', or 'diurnal')")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if self.burst_factor * self.burst_fraction > 1.0:
+            raise ValueError(
+                f"burst_factor {self.burst_factor:g} x burst_fraction "
+                f"{self.burst_fraction:g} exceeds 1: the off-phase rate "
+                f"would be negative (mean rate is preserved)")
+        if self.burst_period <= 0 or self.diurnal_period <= 0:
+            raise ValueError("arrival modulation periods must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.max_inflight_per_site < 1:
+            raise ValueError("max_inflight_per_site must be >= 1")
+        if self.txn_mix is not None:
+            from repro.workload.population import parse_txn_mix
+
+            # Validate eagerly (raises on malformed specs); the parsed
+            # classes are rebuilt where needed, the config keeps the string.
+            parse_txn_mix(self.txn_mix, n_items=self.n_items)
+        if self.streaming_threshold < 0:
+            raise ValueError("streaming_threshold must be >= 0")
+        if self.reservoir_capacity < 2:
+            raise ValueError("reservoir_capacity must be >= 2")
+        if self.throughput_window <= 0:
+            raise ValueError("throughput_window must be positive")
+
+    @property
+    def streaming_enabled(self):
+        """The run's effective metrics mode (explicit flag or threshold)."""
+        if self.streaming is not None:
+            return self.streaming
+        return self.total_transactions > self.streaming_threshold
 
     def replace(self, **changes):
         """A copy with ``changes`` applied (validation re-runs)."""
@@ -173,7 +256,11 @@ class SimulationConfig:
         if self.n_shards > 1:
             sharding = (f" shards={self.n_shards} regions={self.n_regions} "
                         f"commit={self.commit_protocol}")
+        popn = ""
+        if self.population is not None:
+            popn = (f" population={self.population} arrival={self.arrival}"
+                    f"@{self.arrival_rate:g}/user zipf={self.access_skew:g}")
         return (f"{self.protocol} clients={self.n_clients} "
                 f"items={self.n_items} pr={self.read_probability:g} "
                 f"latency={self.network_latency:g} "
-                f"txns={self.total_transactions}{sharding}")
+                f"txns={self.total_transactions}{sharding}{popn}")

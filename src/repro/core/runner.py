@@ -20,13 +20,22 @@ from repro.sim.errors import SimulationError
 from repro.sim.rng import RandomStreams
 from repro.stats.ci import mean_confidence_interval
 from repro.stats.collector import MetricsCollector
+from repro.stats.streaming import RunningStat
 from repro.storage.store import VersionedStore
 from repro.storage.wal import WriteAheadLog
 from repro.validate.history import HistoryRecorder
 from repro.validate.serializability import check_history
 from repro.validate.strictness import check_strictness
+from repro.workload.arrivals import make_arrivals
 from repro.workload.driver import ClientDriver, RunControl
 from repro.workload.generator import WorkloadGenerator
+from repro.workload.population import (
+    OpenArrivalGenerator,
+    PopulationDriver,
+    default_classes,
+    parse_txn_mix,
+    split_population,
+)
 
 #: protocols whose recovery machinery tolerates client crashes (the others
 #: still work under message loss / duplication / jitter / partitions, which
@@ -84,6 +93,12 @@ class SimulationResult:
 
 def _validate_faults(config, injector):
     crash_sites = injector.crash_sites()
+    if crash_sites and config.population is not None:
+        raise ValueError(
+            "crash faults are not supported with open-arrival populations: "
+            "the population driver multiplexes users with no per-site crash "
+            "machinery; use the closed-loop model (population=None) for "
+            "crash experiments")
     if crash_sites and config.protocol not in CRASH_CAPABLE_PROTOCOLS:
         raise ValueError(
             f"protocol {config.protocol!r} has no client-crash recovery; "
@@ -198,15 +213,48 @@ def run_simulation(config, seed=None, check_serializability=None):
     for client in clients.values():
         network.add_site(client)
 
-    generator = WorkloadGenerator(config.workload_params(), streams)
     control = RunControl(sim, config.total_transactions)
-    collector = MetricsCollector(config.warmup_transactions)
+    streaming = config.streaming_enabled
+    collector = MetricsCollector(
+        config.warmup_transactions, streaming=streaming,
+        # A dedicated stream: reservoir draws cannot perturb the
+        # trajectory, so streaming on/off yields identical executions.
+        reservoir_rng=(streams.stream("metrics.reservoir")
+                       if streaming else None),
+        reservoir_capacity=config.reservoir_capacity,
+        throughput_window=config.throughput_window)
+    if streaming:
+        # Bound the per-client lock-wait diagnostic too: a 10⁵-txn run
+        # would otherwise grow op_waits without limit.
+        for client in clients.values():
+            client.op_waits = RunningStat()
+    params = config.workload_params()
     drivers = {}
-    for client_id, client in clients.items():
-        driver = ClientDriver(sim, client_id, client, generator, control,
-                              collector, mpl=config.mpl)
-        drivers[client_id] = driver
-        driver.start()
+    if config.population is None:
+        generator = WorkloadGenerator(params, streams)
+        for client_id, client in clients.items():
+            driver = ClientDriver(sim, client_id, client, generator, control,
+                                  collector, mpl=config.mpl)
+            drivers[client_id] = driver
+            driver.start()
+    else:
+        classes = (parse_txn_mix(config.txn_mix, n_items=config.n_items)
+                   if config.txn_mix is not None
+                   else default_classes(params))
+        user_counts = split_population(config.population, config.n_clients)
+        for index, (client_id, client) in enumerate(clients.items()):
+            n_users = user_counts[index]
+            popn_rng = streams.stream(f"client{client_id}.popn")
+            arrivals = make_arrivals(
+                config, streams.stream(f"client{client_id}.arrival"),
+                rate=n_users * config.arrival_rate)
+            driver = PopulationDriver(
+                sim, client_id, client,
+                OpenArrivalGenerator(params, classes, popn_rng),
+                control, collector, arrivals, n_users, user_rng=popn_rng,
+                max_inflight=config.max_inflight_per_site)
+            drivers[client_id] = driver
+            driver.start()
     detector = None
     if shard_map is not None and config.protocol == "s2pl":
         # Per-shard detection cannot see cycles whose edges span shards;
@@ -251,12 +299,20 @@ def run_simulation(config, seed=None, check_serializability=None):
         if hasattr(srv, "assert_invariants"):
             srv.assert_invariants()
 
-    all_waits = [w for client in clients.values() for w in client.op_waits]
+    if streaming:
+        # op_waits are RunningStats here (no per-value storage).
+        wait_sum = sum(client.op_waits.sum for client in clients.values())
+        wait_count = sum(client.op_waits.count for client in clients.values())
+        mean_op_wait = wait_sum / wait_count if wait_count else 0.0
+    else:
+        all_waits = [w for client in clients.values()
+                     for w in client.op_waits]
+        wait_count = len(all_waits)
+        mean_op_wait = (sum(all_waits) / wait_count if wait_count else 0.0)
     server_stats = {"aborts_initiated": sum(s.aborts_initiated
                                             for s in server_list),
-                    "mean_op_wait": (sum(all_waits) / len(all_waits)
-                                     if all_waits else 0.0),
-                    "n_ops_granted": len(all_waits)}
+                    "mean_op_wait": mean_op_wait,
+                    "n_ops_granted": wait_count}
     for attr in ("deadlocks_found", "windows_dispatched", "avoidance_aborts",
                  "grafted_reads", "callbacks_sent", "cache_hits"):
         if any(hasattr(s, attr) for s in server_list):
@@ -286,6 +342,22 @@ def run_simulation(config, seed=None, check_serializability=None):
             getattr(s, "presumed_aborts", 0) for s in server_list)
         server_stats["distributed_deadlocks"] = (
             detector.distributed_deadlocks if detector is not None else 0)
+    if config.population is not None:
+        states = [driver.state for driver in drivers.values()]
+        by_class = {}
+        for driver in drivers.values():
+            for name, count in driver.generator.by_class.items():
+                by_class[name] = by_class.get(name, 0) + count
+        server_stats["population"] = config.population
+        server_stats["popn_arrivals"] = sum(s.arrivals for s in states)
+        server_stats["popn_started"] = sum(s.started for s in states)
+        server_stats["popn_busy_skipped"] = sum(s.busy_skipped
+                                                for s in states)
+        server_stats["popn_shed"] = sum(s.shed for s in states)
+        server_stats["popn_peak_inflight"] = max(s.peak_active
+                                                 for s in states)
+        server_stats["popn_by_class"] = {
+            name: by_class[name] for name in sorted(by_class)}
     if injector is not None:
         server_stats.update(injector.stats.as_dict())
         links = ([s.reliable for s in server_list]
@@ -311,6 +383,9 @@ def run_simulation(config, seed=None, check_serializability=None):
     }
     trace = None
     if tracer is not None:
+        # Flush transactions the closing run left in flight (flagged
+        # unfinished) so exporters see them instead of leaking them.
+        tracer.close()
         trace = tracer.finish(processed_events=sim.processed_events,
                               peak_heap_depth=sim.peak_heap_depth)
 

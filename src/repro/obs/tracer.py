@@ -88,6 +88,7 @@ class Tracer:
         self.probes = []
         self._live = {}   # txn_id -> _TxnAcc
         self._done = {}   # txn_id -> (acc, meta dict), insertion-ordered
+        self._unfinished = []  # records finalised by close(), never begun
         # run-local message ids: the Envelope counter is module-global (not
         # reset per run), so traces keyed on it would differ between worker
         # processes; the tracer numbers messages itself.
@@ -273,6 +274,38 @@ class Tracer:
             for acc in self._live.values()
         ]
 
+    def close(self):
+        """Finalise transactions still in flight when the run ends.
+
+        Transactions begun via :meth:`txn_begin` but never handed to
+        :meth:`txn_finished` (the run closed mid-transaction) would
+        otherwise linger in ``_live`` forever: exporters silently dropped
+        them and :meth:`partial_records` reported them as if they were
+        foreign charges. ``close()`` converts each into a full-shaped
+        record flagged ``unfinished`` (``measured=False``, so summaries
+        and fingerprints of finished work are untouched) and empties
+        ``_live``. Call it once, after the run loop exits and before
+        :meth:`finish`; live-mode endpoints must *not* call it — their
+        residual accumulators are genuine partial records that the
+        harness merges across processes.
+        """
+        now = self.sim.now
+        for acc in self._live.values():
+            begin = acc.begin
+            meta = {
+                "committed": False,
+                "measured": False,
+                "unfinished": True,
+                "start": begin,
+                "end": now,
+                "response": now - begin if begin is not None else 0.0,
+                "n_ops": None,
+                "abort_reason": "unfinished",
+            }
+            self._unfinished.append(self._txn_record(acc, meta))
+        self._live.clear()
+        return self._unfinished
+
     # -- probes --------------------------------------------------------------
 
     def probe(self, name, value):
@@ -309,6 +342,7 @@ class Tracer:
         """Freeze everything captured into a picklable :class:`TraceData`."""
         txns = [self._txn_record(acc, meta)
                 for acc, meta in self._done.values()]
+        txns.extend(self._unfinished)
         summary = TraceSummary(
             messages_sent=self.messages_sent,
             msgs_by_kind=dict(self.msgs_by_kind),

@@ -17,6 +17,10 @@ Runs a fixed set of cells spanning the layers the fast path touches:
   path, the reliable channel, and timer cancellation storms.
 * ``g2pl_traced`` — tracing and probes attached: exercises the traced
   send path and the observability hooks.
+* ``population_100k`` — the open-arrival population state machine at
+  10⁵ logical users (10⁴ in quick mode) with Zipf skew and streaming
+  metrics: exercises arrival sampling, user multiplexing, admission
+  control, and the bounded-memory metrics path.
 
 Every macro cell embeds the deterministic fingerprint digest of its
 result, so a bench run doubles as a determinism probe: if a kernel
@@ -186,6 +190,24 @@ def _g2pl_traced(quick):
         "g2pl", quick, trace=True, probe_interval=200.0))
 
 
+def _population_100k(quick):
+    """Open-arrival population with streaming metrics.
+
+    Exercises the population state machine (arrival sampling, user
+    multiplexing, admission control, Zipf draws) and the bounded-memory
+    metrics path at 10⁵ logical users (10⁴ in quick mode). The offered
+    load deliberately exceeds capacity so shedding and busy-skip
+    bookkeeping are on the measured path.
+    """
+    return _run_macro(_macro_config(
+        "g2pl", quick, n_clients=50, n_items=1000,
+        network_latency=500.0,
+        population=10_000 if quick else 100_000,
+        arrival_rate=5e-6, access_skew=0.5, streaming=True,
+        total_transactions=600 if quick else 2000,
+        warmup_transactions=60 if quick else 200))
+
+
 def bench_cells():
     """The fixed cell set, in run order."""
     return [
@@ -207,6 +229,10 @@ def bench_cells():
         BenchCell("g2pl_traced", "macro",
                   "g-2PL with tracing and 200-unit probes attached",
                   _g2pl_traced),
+        BenchCell("population_100k", "macro",
+                  "open-arrival population (10^5 users full, 10^4 quick), "
+                  "Zipf 0.5, streaming metrics",
+                  _population_100k),
     ]
 
 

@@ -32,6 +32,28 @@ def _canon(value):
 
 
 def _metrics_fingerprint(metrics):
+    if getattr(metrics, "streaming", False):
+        # Streaming runs have no exact response-time list; the reservoir
+        # contents, running moments, and window counters are deterministic
+        # (the reservoir draws from its own seeded stream), so they pin a
+        # trajectory just as tightly. Exact-path runs keep the historical
+        # structure below byte for byte.
+        return {
+            "streaming": True,
+            "committed": metrics.committed,
+            "aborted": metrics.aborted,
+            "warmup_discarded": metrics.warmup_discarded,
+            "abort_reasons": _canon(dict(metrics.abort_reasons)),
+            "first_measured_at": _canon(metrics.first_measured_at),
+            "last_measured_at": _canon(metrics.last_measured_at),
+            "response_mean": _canon(metrics.moments.mean),
+            "response_m2": _canon(metrics.moments.m2),
+            "response_count": metrics.moments.count,
+            "reservoir_seen": metrics.reservoir.seen,
+            "reservoir": _canon(list(metrics.reservoir.values)),
+            "windows_total": metrics.windows.total,
+            "windows_peak": metrics.windows.peak_count,
+        }
     return {
         "committed": metrics.committed,
         "aborted": metrics.aborted,
@@ -91,7 +113,11 @@ def result_fingerprint(result):
     if result.trace is not None:
         fp["trace_summary"] = _summary_fingerprint(result.trace.summary)
         fp["trace_events"] = len(result.trace.events)
-        fp["trace_txns"] = len(result.trace.txns)
+        # Unfinished records (in flight when the run closed, finalised by
+        # Tracer.close) are deterministic but excluded so the count means
+        # what it meant before close() existed: transactions that finished.
+        fp["trace_txns"] = sum(1 for record in result.trace.txns
+                               if not record.get("unfinished"))
         fp["trace_probes"] = len(result.trace.probes)
     return fp
 

@@ -7,11 +7,26 @@ replications (relative precision ≤ 2% in the paper's full-scale runs).
 """
 
 from repro.stats.ci import ConfidenceInterval, mean_confidence_interval
-from repro.stats.collector import MetricsCollector, RunMetrics
+from repro.stats.collector import (
+    MetricsCollector,
+    RunMetrics,
+    StreamingMetrics,
+)
+from repro.stats.streaming import (
+    ReservoirSampler,
+    RunningStat,
+    Welford,
+    WindowedThroughput,
+)
 
 __all__ = [
     "ConfidenceInterval",
     "MetricsCollector",
+    "ReservoirSampler",
     "RunMetrics",
+    "RunningStat",
+    "StreamingMetrics",
+    "Welford",
+    "WindowedThroughput",
     "mean_confidence_interval",
 ]

@@ -1,7 +1,10 @@
 """Per-run metrics collection with transient-phase elimination."""
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.stats.streaming import ReservoirSampler, Welford, WindowedThroughput
 
 
 @dataclass
@@ -15,6 +18,13 @@ class RunMetrics:
     abort_reasons: dict = field(default_factory=dict)
     first_measured_at: Optional[float] = None
     last_measured_at: Optional[float] = None
+
+    #: exact path: every committed response time is retained
+    streaming = False
+
+    def observe_response(self, response_time, end_time):
+        """Record one committed transaction's response time."""
+        self.response_times.append(response_time)
 
     @property
     def finished(self):
@@ -71,6 +81,44 @@ class RunMetrics:
                                  - self.first_measured_at)
 
 
+@dataclass
+class StreamingMetrics(RunMetrics):
+    """Bounded-memory :class:`RunMetrics` for large-population runs.
+
+    ``response_times`` stays an (always empty) list; committed response
+    times feed a reservoir sample (percentiles), Welford running moments
+    (mean/variance), and tumbling throughput windows instead. Everything
+    else — counts, abort reasons, the measurement window — is identical
+    to the exact path, so downstream consumers (summaries, CIs, reports)
+    work unchanged.
+    """
+
+    reservoir: Optional[ReservoirSampler] = None
+    moments: Optional[Welford] = None
+    windows: Optional[WindowedThroughput] = None
+
+    streaming = True
+
+    def observe_response(self, response_time, end_time):
+        self.moments.add(response_time)
+        self.reservoir.add(response_time)
+        self.windows.record(end_time)
+
+    @property
+    def mean_response_time(self):
+        if self.moments.count == 0:
+            return float("nan")
+        return self.moments.mean
+
+    @property
+    def response_time_std(self):
+        return self.moments.std
+
+    def percentile(self, p):
+        """Reservoir-estimated percentile (exact while seen <= capacity)."""
+        return self.reservoir.percentile(p)
+
+
 class MetricsCollector:
     """Receives transaction outcomes from the client drivers.
 
@@ -79,13 +127,31 @@ class MetricsCollector:
     the paper's "transient phase of the simulation runs was eliminated".
     Response times are recorded for committed transactions (aborted ones
     are replaced, and contribute to the abort percentage instead).
+
+    With ``streaming=True`` the collector produces a
+    :class:`StreamingMetrics` instead: bounded memory regardless of run
+    length, reservoir percentiles, running moments. The reservoir draws
+    from ``reservoir_rng`` (its own stream, so the simulation trajectory
+    is bit-identical whichever collector mode is attached).
     """
 
-    def __init__(self, warmup_transactions=0):
+    def __init__(self, warmup_transactions=0, streaming=False,
+                 reservoir_rng=None, reservoir_capacity=8192,
+                 throughput_window=1000.0):
         if warmup_transactions < 0:
             raise ValueError("warmup_transactions must be >= 0")
         self.warmup_transactions = warmup_transactions
-        self.metrics = RunMetrics()
+        self.streaming = streaming
+        if streaming:
+            if reservoir_rng is None:
+                reservoir_rng = random.Random(8191)
+            self.metrics = StreamingMetrics(
+                reservoir=ReservoirSampler(reservoir_rng,
+                                           capacity=reservoir_capacity),
+                moments=Welford(),
+                windows=WindowedThroughput(window=throughput_window))
+        else:
+            self.metrics = RunMetrics()
         self._seen = 0
         self._warmup_ended_at = None
 
@@ -117,7 +183,8 @@ class MetricsCollector:
         metrics.last_measured_at = outcome.end_time
         if outcome.committed:
             metrics.committed += 1
-            metrics.response_times.append(outcome.response_time)
+            metrics.observe_response(outcome.response_time,
+                                     outcome.end_time)
         else:
             metrics.aborted += 1
             reason = outcome.abort_reason or "unknown"

@@ -69,9 +69,15 @@ class ClientDriver:
     def crash(self):
         """Fail-stop this site: every in-flight transaction is interrupted
         (its coroutine aborts with reason ``client-crash``) and the loop(s)
-        park until :meth:`restart`."""
+        park until :meth:`restart`.
+
+        Idempotent: a repeated ``crash()`` on an already-crashed site keeps
+        the live restart event. Replacing it would orphan loops already
+        parked on the old event — ``restart()`` would trigger only the new
+        one and the parked loops would sleep forever."""
         self._crashed = True
-        self._restart_event = self.sim.event()
+        if self._restart_event is None or self._restart_event.triggered:
+            self._restart_event = self.sim.event()
         for proc in list(self._live_execs):
             proc.interrupt("client-crash")
 

@@ -91,6 +91,10 @@ class WorkloadGenerator:
         self._txn_streams = {}
         self._idle_streams = {}
         self._stagger_streams = {}
+        # Home-shard pools depend only on (n_items, n_shards), both fixed
+        # for the generator's lifetime; computed once on first use instead
+        # of re-partitioning the item space on every local-transaction draw.
+        self._home_pools = None
 
     def _stream(self, client_id, purpose):
         return self.streams.stream(f"client{client_id}.{purpose}")
@@ -135,11 +139,13 @@ class WorkloadGenerator:
         return (client_id - 1) % self.params.n_shards
 
     def _home_pool(self, client_id):
-        from repro.protocols.sharding import partition_items
+        pools = self._home_pools
+        if pools is None:
+            from repro.protocols.sharding import partition_items
 
-        partitions = partition_items(self.params.n_items,
-                                     self.params.n_shards)
-        return partitions[self.home_shard(client_id)]
+            pools = self._home_pools = partition_items(
+                self.params.n_items, self.params.n_shards)
+        return pools[self.home_shard(client_id)]
 
     def next_spec(self, client_id):
         """Generate the next transaction for ``client_id``."""

@@ -1,0 +1,317 @@
+"""Multiplexed client populations: 10⁴–10⁶ logical users per run.
+
+The paper's client model is one closed-loop MPL-1 terminal per site —
+one coroutine each, fine at 50 clients, hopeless at a million. A
+population run keeps the protocol stack exactly as-is (the same
+``n_clients`` protocol client sites, locks, 2PL rounds) but replaces
+each site's terminal loop with a :class:`PopulationDriver`: a state
+machine multiplexing that site's share of ``config.population`` logical
+users. Traffic arrives via an open arrival process
+(:mod:`repro.workload.arrivals`); each arrival picks a logical user, a
+transaction class from the configured mix, and Zipf-skewed items, and
+runs the transaction through the site's protocol client.
+
+Memory stays bounded no matter the population or run length: the driver
+tracks only *busy* users (a sparse dict, capped by admission control at
+``max_inflight_per_site``), never a per-user object for the idle
+millions. Arrivals landing on a busy user are counted and skipped (a
+user submits one transaction at a time, as in the closed loop); arrivals
+beyond the in-flight cap are shed — a saturated front door, not an
+infinite backlog.
+
+Determinism: each site draws from two dedicated named streams
+(``client{id}.arrival`` for arrival times, ``client{id}.popn`` for user
+picks and spec draws), so population runs replay bit-identically at any
+``jobs=`` fan-out and never perturb the closed-loop streams.
+"""
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+
+from repro.locking.modes import LockMode
+from repro.protocols.transaction import Transaction
+from repro.workload.spec import Operation, TransactionSpec
+
+
+@dataclass(frozen=True)
+class TransactionClass:
+    """One class in a mixed workload profile (size range + read ratio)."""
+
+    name: str
+    weight: float
+    min_ops: int
+    max_ops: int
+    read_probability: float
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("transaction class needs a name")
+        if self.weight <= 0:
+            raise ValueError(
+                f"class {self.name!r}: weight must be positive, "
+                f"got {self.weight!r}")
+        if not 1 <= self.min_ops <= self.max_ops:
+            raise ValueError(
+                f"class {self.name!r}: need 1 <= min_ops <= max_ops, "
+                f"got {self.min_ops}..{self.max_ops}")
+        if not 0.0 <= self.read_probability <= 1.0:
+            raise ValueError(
+                f"class {self.name!r}: read_probability "
+                f"{self.read_probability!r} outside [0, 1]")
+
+
+def parse_txn_mix(text, n_items):
+    """Parse ``"name:weight:min-max:read_prob,..."`` into classes.
+
+    Example: ``"browse:6:1-3:0.9,update:3:2-5:0.3"`` — six browses for
+    every three updates; browses touch 1–3 items at 90% reads.
+    """
+    classes = []
+    seen = set()
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) != 4:
+            raise ValueError(
+                f"malformed transaction class {chunk!r} "
+                f"(expected name:weight:min-max:read_prob)")
+        name, weight_text, ops_text, pr_text = parts
+        ops_parts = ops_text.split("-")
+        if len(ops_parts) != 2:
+            raise ValueError(
+                f"class {name!r}: malformed ops range {ops_text!r} "
+                f"(expected min-max)")
+        try:
+            weight = float(weight_text)
+            min_ops = int(ops_parts[0])
+            max_ops = int(ops_parts[1])
+            read_probability = float(pr_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed transaction class {chunk!r}: {exc}") from None
+        if name in seen:
+            raise ValueError(f"duplicate transaction class {name!r}")
+        seen.add(name)
+        cls = TransactionClass(name, weight, min_ops, max_ops,
+                               read_probability)
+        if cls.max_ops > n_items:
+            raise ValueError(
+                f"class {name!r}: max_ops {cls.max_ops} exceeds the "
+                f"{n_items}-item pool")
+        classes.append(cls)
+    if not classes:
+        raise ValueError(f"empty transaction mix {text!r}")
+    return tuple(classes)
+
+
+def default_classes(params):
+    """The single-class mix matching the closed-loop workload knobs."""
+    return (TransactionClass("default", 1.0, params.min_ops, params.max_ops,
+                             params.read_probability),)
+
+
+def split_population(population, n_clients):
+    """Users per site: as even as possible, remainder to the early sites."""
+    base, remainder = divmod(population, n_clients)
+    return [base + (1 if index < remainder else 0)
+            for index in range(n_clients)]
+
+
+class ZipfItemSampler:
+    """Draws distinct items under the workload's popularity law.
+
+    Single draws are O(log n) (cumulative weights + bisect); distinct
+    sets use rejection against already-chosen items with a deterministic
+    rank-order fill as the bounded fallback, so a draw never loops
+    unboundedly even when ``n_ops`` approaches ``n_items`` under extreme
+    skew.
+    """
+
+    def __init__(self, params):
+        self.n_items = params.n_items
+        self._cumulative = list(itertools.accumulate(params.item_weights()))
+
+    def sample_one(self, rng):
+        point = rng.random() * self._cumulative[-1]
+        index = bisect.bisect_right(self._cumulative, point)
+        return min(index, self.n_items - 1)
+
+    def sample(self, rng, n_ops):
+        """``n_ops`` distinct items (popularity-weighted, unordered set
+        semantics but deterministic order)."""
+        chosen = []
+        seen = set()
+        attempts_left = 16 * n_ops + 32
+        while len(chosen) < n_ops and attempts_left > 0:
+            attempts_left -= 1
+            item = self.sample_one(rng)
+            if item not in seen:
+                seen.add(item)
+                chosen.append(item)
+        if len(chosen) < n_ops:
+            # Pathological skew: fill from the most popular ranks down.
+            for item in range(self.n_items):
+                if item not in seen:
+                    seen.add(item)
+                    chosen.append(item)
+                    if len(chosen) == n_ops:
+                        break
+        return chosen
+
+
+class OpenArrivalGenerator:
+    """Per-site spec factory for population runs.
+
+    Unlike :class:`~repro.workload.generator.WorkloadGenerator` (one
+    stream per closed-loop client), all of a site's logical users share
+    the site's ``popn`` stream — per-user streams at population 10⁶
+    would defeat the bounded-memory design for no statistical gain.
+    """
+
+    def __init__(self, params, classes, rng):
+        self.params = params
+        self.classes = classes
+        self.sampler = ZipfItemSampler(params)
+        self._rng = rng
+        self._class_cumulative = list(itertools.accumulate(
+            cls.weight for cls in classes))
+        self.generated = 0
+        self.by_class = {cls.name: 0 for cls in classes}
+
+    def _pick_class(self, rng):
+        cumulative = self._class_cumulative
+        if len(cumulative) == 1:
+            return self.classes[0]
+        point = rng.random() * cumulative[-1]
+        index = bisect.bisect_right(cumulative, point)
+        return self.classes[min(index, len(self.classes) - 1)]
+
+    def next_spec(self):
+        rng = self._rng
+        cls = self._pick_class(rng)
+        n_ops = rng.randint(cls.min_ops, cls.max_ops)
+        items = self.sampler.sample(rng, n_ops)
+        read_probability = cls.read_probability
+        think_min = self.params.think_min
+        think_max = self.params.think_max
+        random = rng.random
+        uniform = rng.uniform
+        operations = tuple(
+            Operation(
+                item_id=item,
+                mode=(LockMode.READ
+                      if random() < read_probability
+                      else LockMode.WRITE),
+                think_time=uniform(think_min, think_max),
+            )
+            for item in items
+        )
+        self.generated += 1
+        self.by_class[cls.name] += 1
+        return TransactionSpec(operations=operations)
+
+
+@dataclass
+class PopulationState:
+    """One site's population counters (all O(1) memory except ``active``,
+    which holds only busy users and is capped by admission control)."""
+
+    n_users: int
+    arrivals: int = 0
+    busy_skipped: int = 0
+    shed: int = 0
+    started: int = 0
+    peak_active: int = 0
+    active: dict = field(default_factory=dict)  # user index -> txn id
+
+    @property
+    def inflight(self):
+        return len(self.active)
+
+
+class PopulationDriver:
+    """Multiplexes one site's share of the logical-user population.
+
+    One arrival-loop coroutine per site plus one short-lived coroutine
+    per *in-flight* transaction (capped at ``max_inflight``) — never a
+    coroutine per user. Outcome handling (collector, tracer, run
+    control) mirrors :class:`~repro.workload.driver.ClientDriver`
+    exactly, so metrics and traces mean the same thing in both models.
+    """
+
+    def __init__(self, sim, client_id, protocol_client, generator, control,
+                 collector, arrivals, n_users, user_rng, max_inflight=256):
+        if n_users < 1:
+            raise ValueError("a population site needs >= 1 logical user")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.sim = sim
+        self.client_id = client_id
+        self.protocol_client = protocol_client
+        self.generator = generator
+        self.control = control
+        self.collector = collector
+        self.arrivals = arrivals
+        self.max_inflight = max_inflight
+        self.state = PopulationState(n_users=n_users)
+        self._user_rng = user_rng
+
+    def start(self):
+        """Spawn the site's arrival loop; returns the process list."""
+        return [self.sim.spawn(self._arrival_loop())]
+
+    def _arrival_loop(self):
+        sim = self.sim
+        control = self.control
+        arrivals = self.arrivals
+        while not control.done:
+            when = arrivals.next_arrival(sim.now)
+            yield sim.timeout(when - sim.now)
+            if control.done:
+                break
+            self._on_arrival()
+
+    def _on_arrival(self):
+        state = self.state
+        state.arrivals += 1
+        user = self._user_rng.randrange(state.n_users)
+        if user in state.active:
+            # This user still has a transaction in flight; a logical user
+            # submits one at a time (as in the closed loop), so the
+            # arrival is counted and dropped, not queued.
+            state.busy_skipped += 1
+            return
+        if len(state.active) >= self.max_inflight:
+            state.shed += 1
+            return
+        spec = self.generator.next_spec()
+        txn = Transaction(self.control.next_txn_id(), self.client_id,
+                          spec, birth=self.sim.now)
+        state.active[user] = txn.txn_id
+        state.started += 1
+        if len(state.active) > state.peak_active:
+            state.peak_active = len(state.active)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.txn_begin(txn)
+        self.sim.spawn(self._run(user, txn))
+
+    def _run(self, user, txn):
+        # Inlined rather than spawned as a nested process: with crash
+        # faults excluded for population runs there is nothing to
+        # interrupt, and one coroutine per transaction (not two) is what
+        # keeps 10⁵ transactions/run cheap.
+        try:
+            outcome = yield from self.protocol_client.execute(txn)
+        finally:
+            self.state.active.pop(user, None)
+        if self.control.done:
+            return  # the run closed while this transaction was in flight
+        self.collector.record_outcome(outcome)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.txn_finished(outcome, measured=self.collector.measuring)
+        self.control.transaction_finished()

@@ -95,6 +95,67 @@ def test_done_event_fires_once():
     assert control.done_event.value == 2
 
 
+class CrashableClient(InstantClient):
+    """InstantClient that survives a crash interrupt mid-transaction."""
+
+    def execute(self, txn):
+        from repro.protocols.transaction import TxnOutcome
+        from repro.sim.errors import Interrupt
+
+        self.executed.append(txn.txn_id)
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(1.0)
+        except Interrupt:
+            txn.abort("client-crash")
+            return TxnOutcome(txn_id=txn.txn_id, client_id=txn.client_id,
+                              committed=False, start_time=start,
+                              end_time=self.sim.now, n_ops=txn.spec.n_ops,
+                              n_writes=txn.spec.n_writes,
+                              abort_reason="client-crash")
+        txn.commit()
+        return TxnOutcome(txn_id=txn.txn_id, client_id=txn.client_id,
+                          committed=True, start_time=start,
+                          end_time=self.sim.now, n_ops=txn.spec.n_ops,
+                          n_writes=txn.spec.n_writes)
+
+
+def test_repeated_crash_keeps_restart_event():
+    # Regression: a second crash() on a down site used to replace the
+    # restart event, orphaning loops parked on the old one — restart()
+    # would trigger only the replacement and the site slept forever.
+    sim = Simulator()
+    control = RunControl(sim, 4)
+    collector = MetricsCollector(0)
+    generator = WorkloadGenerator(WorkloadParams(), RandomStreams(1))
+    driver = ClientDriver(sim, 1, CrashableClient(sim), generator, control,
+                          collector)
+    driver.crash()
+    event = driver._restart_event
+    driver.crash()  # idempotent: the live event must be kept
+    assert driver._restart_event is event
+    driver.restart()
+    assert event.triggered
+
+
+def test_double_crash_then_restart_resumes_the_loop():
+    sim = Simulator()
+    control = RunControl(sim, 8)
+    collector = MetricsCollector(0)
+    generator = WorkloadGenerator(WorkloadParams(), RandomStreams(1))
+    client = CrashableClient(sim)
+    driver = ClientDriver(sim, 1, client, generator, control, collector)
+    driver.start()
+    sim.call_later(15.0, driver.crash)
+    sim.call_later(16.0, driver.crash)  # repeated crash on a down site
+    sim.call_later(40.0, driver.restart)
+    sim.run(until=control.done_event)
+    assert control.finished == 8
+    # The outage window is dead time: nothing starts between the crash
+    # and the restart, and the run completes only after the restart.
+    assert sim.now > 40.0
+
+
 def test_clients_stagger_their_first_transaction():
     sim = Simulator()
     control, _, clients = build(sim, target=4, n_clients=2)

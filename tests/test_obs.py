@@ -122,6 +122,48 @@ class TestTracedRun:
         assert result.engine_stats["processed_events"] > 0
 
 
+class TestTracerClose:
+    """Regression: transactions in flight when the run ends used to
+    linger in the tracer's live table — exporters dropped them and
+    ``partial_records`` misreported them as foreign charges."""
+
+    def test_run_ending_mid_transaction_emits_unfinished_records(self):
+        # Six clients, so several transactions are always in flight when
+        # the 100th finisher closes the run.
+        result = run_simulation(traced_config("g2pl"))
+        unfinished = [r for r in result.trace.txns if r.get("unfinished")]
+        assert unfinished
+        for record in unfinished:
+            assert record["measured"] is False
+            assert record["committed"] is False
+            assert record["abort_reason"] == "unfinished"
+            assert record["response"] >= 0.0
+        assert validate_trace(result.trace) == []
+        # Summaries aggregate finished work only; the unfinished tail
+        # must not leak into them.
+        summary = result.trace.summary
+        assert summary.committed == result.metrics.committed
+        assert summary.aborted == result.metrics.aborted
+
+    def test_close_drains_live_accumulators(self):
+        from repro.locking.modes import LockMode
+        from repro.obs.tracer import Tracer
+        from repro.protocols.transaction import Transaction
+        from repro.workload.spec import Operation, TransactionSpec
+
+        sim = Simulator()
+        tracer = Tracer(sim)
+        spec = TransactionSpec(operations=(
+            Operation(0, LockMode.READ, 1.0),))
+        tracer.txn_begin(Transaction(1, 1, spec, birth=0.0))
+        assert len(tracer.partial_records()) == 1
+        records = tracer.close()
+        assert [r["txn"] for r in records] == [1]
+        assert records[0]["unfinished"] is True
+        assert tracer.partial_records() == []
+        assert tracer.close() == records  # idempotent once drained
+
+
 class TestSchema:
     @pytest.mark.parametrize("protocol", ["s2pl", "g2pl"])
     def test_faulted_traced_run_validates(self, protocol):

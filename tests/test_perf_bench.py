@@ -125,7 +125,8 @@ class TestHarness:
     def test_cell_set_is_fixed_and_named(self):
         names = [cell.name for cell in bench_cells()]
         assert names == ["engine_churn", "net_ping", "s2pl_contention",
-                         "g2pl_contention", "g2pl_faulted", "g2pl_traced"]
+                         "g2pl_contention", "g2pl_faulted", "g2pl_traced",
+                         "population_100k"]
         assert len(set(names)) == len(names)
 
     def test_quick_micro_cell_measures_and_digests(self):

@@ -1,0 +1,379 @@
+"""Tests for open-arrival client populations: arrival processes, the
+transaction mix, Zipf sampling, the population driver, and end-to-end
+determinism of population runs."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.parallel import SimulationCell, run_cells
+from repro.core.runner import run_simulation
+from repro.perf.fingerprint import result_fingerprint
+from repro.sim import RandomStreams, Simulator
+from repro.stats.collector import MetricsCollector
+from repro.workload.arrivals import (
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.workload.driver import RunControl
+from repro.workload.generator import WorkloadParams
+from repro.workload.population import (
+    OpenArrivalGenerator,
+    PopulationDriver,
+    TransactionClass,
+    ZipfItemSampler,
+    default_classes,
+    parse_txn_mix,
+    split_population,
+)
+
+
+def popn_config(**overrides):
+    base = dict(protocol="g2pl", n_clients=8, n_items=50, population=400,
+                arrival_rate=2e-4, total_transactions=120,
+                warmup_transactions=12, record_history=False, seed=7)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestArrivalProcesses:
+    def test_poisson_interarrival_statistics(self):
+        # Exponential(rate): mean 1/rate, std 1/rate (CV = 1).
+        rate = 0.25
+        process = PoissonArrivals(random.Random(11), rate)
+        now, gaps = 0.0, []
+        for _ in range(20_000):
+            nxt = process.next_arrival(now)
+            gaps.append(nxt - now)
+            now = nxt
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / (len(gaps) - 1)
+        assert mean == pytest.approx(1.0 / rate, rel=0.05)
+        assert math.sqrt(var) == pytest.approx(1.0 / rate, rel=0.05)
+
+    def test_arrivals_strictly_advance(self):
+        for process in (PoissonArrivals(random.Random(1), 0.5),
+                        BurstArrivals(random.Random(2), 0.5),
+                        DiurnalArrivals(random.Random(3), 0.5)):
+            now = 0.0
+            for _ in range(500):
+                nxt = process.next_arrival(now)
+                assert nxt > now
+                now = nxt
+
+    def test_burst_preserves_mean_rate(self):
+        rate = 0.2
+        process = BurstArrivals(random.Random(5), rate, burst_factor=6.0,
+                                on_fraction=0.1, period=500.0)
+        assert process.on_rate == pytest.approx(6.0 * rate)
+        # Long-run mean: on_fraction*on + (1-on_fraction)*off == base.
+        mean = (0.1 * process.on_rate + 0.9 * process.off_rate)
+        assert mean == pytest.approx(rate)
+        now, count = 0.0, 0
+        horizon = 200_000.0
+        while True:
+            now = process.next_arrival(now)
+            if now > horizon:
+                break
+            count += 1
+        assert count / horizon == pytest.approx(rate, rel=0.05)
+
+    def test_burst_rate_profile(self):
+        process = BurstArrivals(random.Random(1), 1.0, burst_factor=4.0,
+                                on_fraction=0.2, period=100.0)
+        assert process.rate_at(5.0) == process.on_rate
+        assert process.rate_at(50.0) == process.off_rate
+        assert process.rate_at(105.0) == process.on_rate  # next period
+
+    def test_diurnal_rate_profile(self):
+        process = DiurnalArrivals(random.Random(1), 1.0, period=100.0,
+                                  amplitude=0.5)
+        assert process.rate_at(25.0) == pytest.approx(1.5)   # sin peak
+        assert process.rate_at(75.0) == pytest.approx(0.5)   # sin trough
+        assert process.rate_at(0.0) == pytest.approx(1.0)
+        assert process.peak_rate == pytest.approx(1.5)
+
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rng, 0.0)
+        with pytest.raises(ValueError):
+            BurstArrivals(rng, 1.0, on_fraction=1.5)
+        with pytest.raises(ValueError):
+            BurstArrivals(rng, 1.0, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            # off-phase rate would be negative: 4 * 0.3 > 1
+            BurstArrivals(rng, 1.0, burst_factor=4.0, on_fraction=0.3)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rng, 1.0, amplitude=1.0)
+
+    def test_factory_dispatch(self):
+        config = popn_config()
+        rng = random.Random(1)
+        assert isinstance(make_arrivals(config, rng, 1.0), PoissonArrivals)
+        assert isinstance(
+            make_arrivals(config.replace(arrival="burst"), rng, 1.0),
+            BurstArrivals)
+        assert isinstance(
+            make_arrivals(config.replace(arrival="diurnal"), rng, 1.0),
+            DiurnalArrivals)
+
+
+class TestTxnMix:
+    def test_parse_round_trip(self):
+        classes = parse_txn_mix("browse:6:1-3:0.9,update:3:2-5:0.3",
+                                n_items=25)
+        assert [c.name for c in classes] == ["browse", "update"]
+        assert classes[0] == TransactionClass("browse", 6.0, 1, 3, 0.9)
+        assert classes[1].read_probability == 0.3
+
+    @pytest.mark.parametrize("bad", [
+        "", "browse", "browse:1:1-3", "browse:1:3:0.9",
+        "browse:0:1-3:0.9", "browse:1:3-1:0.9", "browse:1:1-3:1.5",
+        "browse:1:1-3:0.9,browse:2:1-3:0.5",  # duplicate name
+        "browse:x:1-3:0.9",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_txn_mix(bad, n_items=25)
+
+    def test_parse_rejects_oversized_ops(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            parse_txn_mix("big:1:1-30:0.5", n_items=25)
+
+    def test_config_validates_mix_eagerly(self):
+        with pytest.raises(ValueError):
+            popn_config(txn_mix="nope")
+        popn_config(txn_mix="a:1:1-2:0.5,b:2:1-3:0.9")  # parses fine
+
+    def test_default_classes_match_params(self):
+        params = WorkloadParams(min_ops=2, max_ops=4, read_probability=0.7)
+        (cls,) = default_classes(params)
+        assert (cls.min_ops, cls.max_ops) == (2, 4)
+        assert cls.read_probability == 0.7
+
+    def test_mix_weights_respected(self):
+        params = WorkloadParams(n_items=50)
+        classes = parse_txn_mix("small:9:1-1:1.0,large:1:5-5:0.0",
+                                n_items=50)
+        gen = OpenArrivalGenerator(params, classes, random.Random(3))
+        for _ in range(2000):
+            gen.next_spec()
+        share = gen.by_class["small"] / gen.generated
+        assert 0.85 < share < 0.95
+        assert gen.by_class["small"] + gen.by_class["large"] == 2000
+
+
+class TestZipfSampler:
+    def test_uniform_when_skew_zero(self):
+        sampler = ZipfItemSampler(WorkloadParams(n_items=100))
+        rng = random.Random(5)
+        counts = [0] * 100
+        for _ in range(20_000):
+            counts[sampler.sample_one(rng)] += 1
+        assert max(counts) < 2.0 * min(counts)
+
+    def test_skewed_counts_decrease_with_rank(self):
+        sampler = ZipfItemSampler(
+            WorkloadParams(n_items=100, access_skew=0.9))
+        rng = random.Random(5)
+        counts = [0] * 100
+        for _ in range(30_000):
+            counts[sampler.sample_one(rng)] += 1
+        # Weight law is monotone in rank; bucketed counts must be too.
+        buckets = [sum(counts[i:i + 20]) for i in range(0, 100, 20)]
+        assert buckets == sorted(buckets, reverse=True)
+        # Empirical head mass tracks the configured law.
+        weights = WorkloadParams(n_items=100,
+                                 access_skew=0.9).item_weights()
+        expected_head = sum(weights[:10]) / sum(weights)
+        assert counts and sum(counts[:10]) / sum(counts) == pytest.approx(
+            expected_head, rel=0.1)
+
+    def test_distinct_sample(self):
+        sampler = ZipfItemSampler(
+            WorkloadParams(n_items=10, access_skew=2.5, max_ops=10))
+        rng = random.Random(5)
+        for _ in range(200):
+            items = sampler.sample(rng, 8)
+            assert len(items) == len(set(items)) == 8
+
+    def test_extreme_skew_falls_back_deterministically(self):
+        # Near-degenerate law: almost all mass on rank 0; the rejection
+        # loop exhausts and the rank-order fill completes the set.
+        sampler = ZipfItemSampler(
+            WorkloadParams(n_items=5, access_skew=30.0, max_ops=5))
+        items = sampler.sample(random.Random(1), 5)
+        assert sorted(items) == [0, 1, 2, 3, 4]
+
+
+class TestSplitPopulation:
+    def test_even_split(self):
+        assert split_population(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_to_early_sites(self):
+        assert split_population(10, 3) == [4, 3, 3]
+
+    def test_total_preserved(self):
+        for population, n in ((1, 1), (7, 3), (1000, 7), (10**6, 50)):
+            assert sum(split_population(population, n)) == population
+
+
+class InstantClient:
+    """Protocol-client stub: commits after one time unit."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.executed = []
+
+    def execute(self, txn):
+        self.executed.append(txn.txn_id)
+        yield self.sim.timeout(1.0)
+        txn.commit()
+        from repro.protocols.transaction import TxnOutcome
+
+        return TxnOutcome(txn_id=txn.txn_id, client_id=txn.client_id,
+                          committed=True, start_time=self.sim.now - 1.0,
+                          end_time=self.sim.now, n_ops=txn.spec.n_ops,
+                          n_writes=txn.spec.n_writes)
+
+
+def build_population_driver(sim, n_users=20, rate=0.5, max_inflight=256,
+                            target=30):
+    control = RunControl(sim, target)
+    collector = MetricsCollector(0)
+    streams = RandomStreams(9)
+    params = WorkloadParams(n_items=20)
+    client = InstantClient(sim)
+    driver = PopulationDriver(
+        sim, 1, client, OpenArrivalGenerator(params, default_classes(params),
+                                             streams.stream("popn")),
+        control, collector, PoissonArrivals(streams.stream("arr"), rate),
+        n_users, user_rng=streams.stream("users"),
+        max_inflight=max_inflight)
+    driver.start()
+    return control, collector, driver, client
+
+
+class TestPopulationDriver:
+    def test_runs_to_target(self):
+        sim = Simulator()
+        control, collector, driver, client = build_population_driver(sim)
+        sim.run(until=control.done_event)
+        assert control.finished == 30
+        assert collector.metrics.committed == 30
+        state = driver.state
+        assert state.arrivals >= state.started >= 30
+        assert state.peak_active >= 1
+
+    def test_busy_users_are_skipped_not_queued(self):
+        sim = Simulator()
+        # One user, fast arrivals, 1-unit service: most arrivals land
+        # while the single user is busy and must be counted as skips.
+        control, _, driver, client = build_population_driver(
+            sim, n_users=1, rate=5.0, target=10)
+        sim.run(until=control.done_event)
+        assert driver.state.busy_skipped > 0
+        assert driver.state.peak_active == 1
+        assert len(client.executed) >= 10
+
+    def test_admission_cap_sheds(self):
+        sim = Simulator()
+        control, _, driver, _ = build_population_driver(
+            sim, n_users=500, rate=50.0, max_inflight=4, target=40)
+        sim.run(until=control.done_event)
+        assert driver.state.peak_active <= 4
+        assert driver.state.shed > 0
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_population_driver(sim, n_users=0)
+        with pytest.raises(ValueError):
+            build_population_driver(sim, max_inflight=0)
+
+
+class TestPopulationConfig:
+    def test_population_below_clients_rejected(self):
+        with pytest.raises(ValueError, match="below n_clients"):
+            popn_config(population=4)
+
+    def test_arrival_rate_validated(self):
+        with pytest.raises(ValueError):
+            popn_config(arrival_rate=0.0)
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            popn_config(arrival="sawtooth")
+
+    def test_burst_off_phase_must_stay_nonnegative(self):
+        with pytest.raises(ValueError, match="off-phase"):
+            popn_config(burst_factor=6.0, burst_fraction=0.4)
+
+    def test_describe_mentions_population(self):
+        assert "population=400" in popn_config().describe()
+        assert "population" not in SimulationConfig().describe()
+
+    def test_crash_faults_rejected_with_population(self):
+        config = popn_config(faults="crash=2@1000:2000")
+        with pytest.raises(ValueError, match="crash faults"):
+            run_simulation(config)
+
+    def test_loss_faults_still_allowed(self):
+        result = run_simulation(popn_config(
+            faults="loss=0.01", total_transactions=60,
+            warmup_transactions=6))
+        # finished excludes the warmup-discarded transient phase
+        assert result.metrics.finished == 60 - 6
+
+
+class TestPopulationEndToEnd:
+    def test_run_produces_population_stats(self):
+        result = run_simulation(popn_config())
+        stats = result.server_stats
+        assert stats["population"] == 400
+        assert stats["popn_started"] >= result.metrics.finished
+        assert stats["popn_arrivals"] >= stats["popn_started"]
+        assert 1 <= stats["popn_peak_inflight"] <= 256
+        assert stats["popn_by_class"] == {"default": stats["popn_started"]}
+
+    def test_txn_mix_classes_reported(self):
+        result = run_simulation(popn_config(
+            txn_mix="browse:6:1-3:0.9,update:3:2-5:0.3"))
+        by_class = result.server_stats["popn_by_class"]
+        assert set(by_class) == {"browse", "update"}
+        assert by_class["browse"] > by_class["update"]
+
+    @pytest.mark.parametrize("arrival", ["poisson", "burst", "diurnal"])
+    def test_every_arrival_process_runs(self, arrival):
+        result = run_simulation(popn_config(
+            arrival=arrival, total_transactions=60, warmup_transactions=6))
+        assert result.metrics.finished == 60 - 6
+
+    def test_jobs_parallelism_is_bit_identical(self):
+        configs = [popn_config(access_skew=0.5),
+                   popn_config(arrival="burst", seed=11)]
+        cells = [SimulationCell(config=config, seed=config.seed)
+                 for config in configs]
+        serial = run_cells(cells, jobs=1)
+        pooled = run_cells(cells, jobs=2)
+        for left, right in zip(serial, pooled):
+            assert result_fingerprint(left) == result_fingerprint(right)
+
+    def test_same_seed_replays_identically(self):
+        first = run_simulation(popn_config(access_skew=0.9))
+        second = run_simulation(popn_config(access_skew=0.9))
+        assert result_fingerprint(first) == result_fingerprint(second)
+
+    def test_traced_population_run_validates(self):
+        from repro.obs.schema import validate_trace
+
+        result = run_simulation(popn_config(trace=True))
+        assert validate_trace(result.trace) == []
+        measured = [r for r in result.trace.txns if r["measured"]]
+        assert len(measured) == (result.metrics.committed
+                                 + result.metrics.aborted)

@@ -1,0 +1,263 @@
+"""Tests for the bounded-memory streaming metrics path: Welford moments,
+reservoir percentiles (including the 2% p99 calibration bound), windowed
+throughput, RunningStat, collector mode selection, and trajectory
+equivalence between exact and streaming runs."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.perf.fingerprint import result_fingerprint
+from repro.stats.collector import (
+    MetricsCollector,
+    RunMetrics,
+    StreamingMetrics,
+)
+from repro.stats.streaming import (
+    ReservoirSampler,
+    RunningStat,
+    Welford,
+    WindowedThroughput,
+)
+
+
+class TestWelford:
+    def test_matches_exact_moments(self):
+        rng = random.Random(3)
+        values = [rng.lognormvariate(5.0, 1.2) for _ in range(5000)]
+        welford = Welford()
+        for value in values:
+            welford.add(value)
+        assert welford.count == 5000
+        assert welford.mean == pytest.approx(statistics.fmean(values),
+                                             rel=1e-12)
+        assert welford.variance == pytest.approx(
+            statistics.variance(values), rel=1e-9)
+        assert welford.std == pytest.approx(statistics.stdev(values),
+                                            rel=1e-9)
+
+    def test_small_counts(self):
+        welford = Welford()
+        assert math.isnan(welford.variance)
+        welford.add(7.0)
+        assert welford.mean == 7.0
+        assert math.isnan(welford.variance)
+        assert math.isnan(welford.std)
+
+
+class TestReservoirSampler:
+    def test_exact_while_stream_fits(self):
+        # Below capacity the reservoir holds the whole stream, so its
+        # percentile must equal RunMetrics' exact interpolation.
+        sampler = ReservoirSampler(random.Random(1), capacity=1000)
+        exact = RunMetrics()
+        rng = random.Random(2)
+        for _ in range(500):
+            value = rng.expovariate(0.01)
+            sampler.add(value)
+            exact.response_times.append(value)
+        for p in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert sampler.percentile(p) == exact.percentile(p)
+
+    def test_memory_stays_bounded(self):
+        sampler = ReservoirSampler(random.Random(1), capacity=64)
+        for value in range(10_000):
+            sampler.add(float(value))
+        assert len(sampler.values) == 64
+        assert sampler.seen == 10_000
+
+    def test_p99_within_2pct_on_10k_calibration(self):
+        # ISSUE acceptance bound: reservoir p99 within 2% of exact on a
+        # 10^4-value stream at the default capacity of 8192.
+        rng = random.Random(7)
+        values = [rng.lognormvariate(7.0, 0.8) for _ in range(10_000)]
+        sampler = ReservoirSampler(random.Random(11), capacity=8192)
+        exact = RunMetrics(response_times=list(values))
+        for value in values:
+            sampler.add(value)
+        for p in (50.0, 95.0, 99.0):
+            assert sampler.percentile(p) == pytest.approx(
+                exact.percentile(p), rel=0.02)
+
+    def test_empty_and_validation(self):
+        sampler = ReservoirSampler(random.Random(1), capacity=4)
+        assert math.isnan(sampler.percentile(50.0))
+        with pytest.raises(ValueError):
+            sampler.percentile(101.0)
+        with pytest.raises(ValueError):
+            ReservoirSampler(random.Random(1), capacity=1)
+
+    def test_deterministic_given_stream(self):
+        def fill():
+            sampler = ReservoirSampler(random.Random(5), capacity=32)
+            for value in range(1000):
+                sampler.add(float(value))
+            return list(sampler.values)
+
+        assert fill() == fill()
+
+
+class TestWindowedThroughput:
+    def test_counts_windows(self):
+        windows = WindowedThroughput(window=10.0, max_windows=4)
+        for when in (1.0, 2.0, 3.0, 11.0, 12.0, 25.0):
+            windows.record(when)
+        assert windows.total == 6
+        assert windows.peak_count == 3
+        assert windows.peak_rate == pytest.approx(0.3)
+        assert windows.snapshot() == [(0.0, 3), (10.0, 2), (20.0, 1)]
+
+    def test_ring_is_bounded(self):
+        windows = WindowedThroughput(window=1.0, max_windows=4)
+        for when in range(100):
+            windows.record(when + 0.5)
+        assert windows.total == 100
+        # 4 retained complete windows + the current one
+        assert len(windows.snapshot()) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedThroughput(window=0.0)
+
+
+class TestRunningStat:
+    def test_accumulates(self):
+        stat = RunningStat()
+        for value in (3.0, 1.0, 2.0):
+            stat.append(value)
+        assert (stat.count, stat.sum) == (3, 6.0)
+        assert (stat.min, stat.max) == (1.0, 3.0)
+        assert stat.mean == 2.0
+        assert len(stat) == 3
+
+    def test_refuses_iteration(self):
+        # Guards against code silently iterating the stand-in as if it
+        # were the exact op_waits list.
+        stat = RunningStat()
+        stat.append(1.0)
+        with pytest.raises(TypeError):
+            list(stat)
+        assert RunningStat().mean == 0.0
+
+
+def outcome(txn_id, committed=True, start=0.0, end=100.0):
+    from repro.protocols.transaction import TxnOutcome
+
+    return TxnOutcome(txn_id=txn_id, client_id=1, committed=committed,
+                      start_time=start, end_time=end, n_ops=2, n_writes=1,
+                      abort_reason=None if committed else "deadlock")
+
+
+class TestCollectorModes:
+    def test_exact_by_default(self):
+        collector = MetricsCollector(0)
+        assert isinstance(collector.metrics, RunMetrics)
+        assert not isinstance(collector.metrics, StreamingMetrics)
+        assert collector.metrics.streaming is False
+
+    def test_streaming_produces_bounded_metrics(self):
+        collector = MetricsCollector(0, streaming=True,
+                                     reservoir_rng=random.Random(1))
+        for index in range(100):
+            collector.record_outcome(outcome(index, end=100.0 + index))
+        metrics = collector.metrics
+        assert metrics.streaming is True
+        assert metrics.response_times == []
+        assert metrics.committed == 100
+        assert metrics.moments.count == 100
+
+    def test_streaming_percentiles_match_exact_when_small(self):
+        exact = MetricsCollector(5)
+        stream = MetricsCollector(5, streaming=True,
+                                  reservoir_rng=random.Random(1))
+        rng = random.Random(9)
+        for index in range(200):
+            record = outcome(index, committed=rng.random() < 0.8,
+                             start=float(index), end=index + rng.expovariate(0.01))
+            exact.record_outcome(record)
+            stream.record_outcome(record)
+        assert stream.metrics.committed == exact.metrics.committed
+        assert stream.metrics.aborted == exact.metrics.aborted
+        assert stream.metrics.abort_reasons == exact.metrics.abort_reasons
+        assert stream.metrics.mean_response_time == pytest.approx(
+            exact.metrics.mean_response_time, rel=1e-12)
+        # 200 committed < capacity: reservoir percentile is exact.
+        assert (stream.metrics.p99_response_time
+                == exact.metrics.p99_response_time)
+        assert stream.metrics.throughput == exact.metrics.throughput
+
+
+def small_config(**overrides):
+    base = dict(protocol="g2pl", n_clients=6, n_items=25,
+                total_transactions=150, warmup_transactions=15,
+                record_history=False, seed=5)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestStreamingConfig:
+    def test_auto_threshold(self):
+        assert small_config().streaming_enabled is False
+        assert small_config(streaming=True).streaming_enabled is True
+        big = small_config(total_transactions=30_000,
+                           warmup_transactions=3_000)
+        assert big.streaming_enabled is True
+        assert big.replace(streaming=False).streaming_enabled is False
+        assert small_config(
+            streaming_threshold=100).streaming_enabled is True
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            small_config(reservoir_capacity=1)
+        with pytest.raises(ValueError):
+            small_config(throughput_window=0.0)
+        with pytest.raises(ValueError):
+            small_config(streaming_threshold=-1)
+
+
+class TestStreamingEndToEnd:
+    def test_same_trajectory_as_exact(self):
+        # Streaming only changes how outcomes are aggregated; the
+        # simulation trajectory must be bit-identical either way.
+        exact = run_simulation(small_config(streaming=False))
+        stream = run_simulation(small_config(streaming=True))
+        assert stream.metrics.committed == exact.metrics.committed
+        assert stream.metrics.aborted == exact.metrics.aborted
+        assert stream.metrics.abort_reasons == exact.metrics.abort_reasons
+        assert stream.duration == exact.duration
+        assert stream.metrics.mean_response_time == pytest.approx(
+            exact.metrics.mean_response_time, rel=1e-9)
+        # Fewer committed than reservoir capacity: percentiles exact too.
+        assert (stream.metrics.p99_response_time
+                == exact.metrics.p99_response_time)
+        assert stream.metrics.response_times == []
+
+    def test_population_run_streams_bounded(self):
+        result = run_simulation(small_config(
+            population=600, arrival_rate=2e-4, streaming=True,
+            access_skew=0.5))
+        metrics = result.metrics
+        assert metrics.streaming is True
+        assert metrics.response_times == []
+        assert len(metrics.reservoir.values) <= 8192
+        assert metrics.windows.total == metrics.committed
+        assert result.server_stats["n_ops_granted"] > 0
+
+    def test_streaming_fingerprint_shape(self):
+        result = run_simulation(small_config(streaming=True))
+        fp = result_fingerprint(result)
+        metrics_fp = fp["metrics"]
+        assert metrics_fp["streaming"] is True
+        assert "response_times" not in metrics_fp
+        assert metrics_fp["reservoir_seen"] == result.metrics.committed
+        assert metrics_fp["windows_total"] == result.metrics.committed
+
+    def test_streaming_fingerprint_replays(self):
+        config = small_config(streaming=True)
+        first = result_fingerprint(run_simulation(config))
+        second = result_fingerprint(run_simulation(config))
+        assert first == second

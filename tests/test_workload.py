@@ -121,3 +121,34 @@ class TestGenerator:
         for _ in range(7):
             gen.next_spec(1)
         assert gen.generated == 7
+
+
+class TestHomePoolCache:
+    """Regression: the cached home-shard pools must not change any draw."""
+
+    SHARDED = dict(n_items=24, n_shards=4, cross_shard_probability=0.3)
+
+    def test_cached_pools_match_partition(self):
+        from repro.protocols.sharding import partition_items
+
+        gen = make_generator(**self.SHARDED)
+        pools = partition_items(24, 4)
+        for client in range(1, 9):
+            assert gen._home_pool(client) == pools[gen.home_shard(client)]
+
+    def test_cache_preserves_draw_sequence(self):
+        # The reference generator recomputes the partition on every local
+        # draw, as the pre-cache implementation did; both must produce a
+        # byte-identical spec sequence from the same seed.
+        from repro.protocols.sharding import partition_items
+
+        cached = make_generator(seed=3, **self.SHARDED)
+        reference = make_generator(seed=3, **self.SHARDED)
+        reference._home_pool = lambda client_id: partition_items(
+            reference.params.n_items, reference.params.n_shards
+        )[reference.home_shard(client_id)]
+        for _ in range(200):
+            for client in (1, 2, 3, 4, 5):
+                want = reference.next_spec(client)
+                got = cached.next_spec(client)
+                assert got.operations == want.operations
