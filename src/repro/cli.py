@@ -231,6 +231,58 @@ def _cmd_trace(args):
     return 0
 
 
+def _cmd_decompose(args):
+    from repro.obs.decompose import decompose_records, sim_vs_live
+    from repro.obs.export import write_phases_csv
+
+    if args.live:
+        from repro.live.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(
+            protocol=args.protocol, mode=args.mode,
+            n_clients=args.live_clients, latency=args.live_latency,
+            seed=args.seed, think=args.think, repeats=args.repeats,
+            duration=args.duration, n_items=args.items,
+            read_probability=args.pr)
+        report, live, _reference = sim_vs_live(
+            spec, time_scale=args.time_scale)
+        print(report.sim.describe())
+        print(report.live.describe())
+        print(report.describe())
+        if args.out:
+            csv_path = f"{args.out}.phases.csv"
+            write_phases_csv(csv_path,
+                             live.merged.measured_committed().values())
+            print(f"wrote {csv_path}")
+        bad = report.sim.violations + report.live.violations
+        if bad:
+            print(f"decomposition invariant violated ({len(bad)}): "
+                  f"{bad[0]}", file=sys.stderr)
+            return 1
+        return 0
+    args.trace = True
+    config = _config_from(args, args.protocol)
+    result = run_simulation(config)
+    records = [record for record in result.trace.txns
+               if record["measured"]]
+    decomposition = decompose_records(
+        records, label=f"{args.protocol} seed {result.seed}",
+        threshold=config.streaming_threshold,
+        reservoir_capacity=config.reservoir_capacity)
+    print(result.summary())
+    print(decomposition.describe())
+    if args.out:
+        csv_path = f"{args.out}.phases.csv"
+        write_phases_csv(csv_path, records)
+        print(f"wrote {csv_path}")
+    if decomposition.violations:
+        print(f"decomposition invariant violated "
+              f"({len(decomposition.violations)}): "
+              f"{decomposition.violations[0]}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args):
     from repro.analysis.report import generate_report
 
@@ -311,9 +363,22 @@ def _cmd_figure(args):
             show(row.response)
             print()
         print(describe_shard_grid(regimes))
+    elif number == "decompose":
+        # Sim-vs-live per-phase divergence for both calibration
+        # scenarios: the attributed version of PR 5's raw response gap.
+        from repro.live.scenario import ScenarioSpec
+        from repro.obs.decompose import sim_vs_live
+
+        for protocol in ("s2pl", "g2pl"):
+            spec = ScenarioSpec(protocol=protocol, mode="calibrate",
+                                n_clients=4, latency=2.0, repeats=3)
+            report, _live, _reference = sim_vs_live(spec)
+            print(report.describe())
+            print()
     else:
         print(f"unknown figure {number!r}; choose 1-15, loss, "
-              f"loss-aborts, scale, or shard-crossover", file=sys.stderr)
+              f"loss-aborts, scale, decompose, or shard-crossover",
+              file=sys.stderr)
         return 2
     return 0
 
@@ -355,9 +420,36 @@ def _cmd_live(args):
         protocol=args.protocol, mode=args.mode, n_clients=args.clients,
         latency=args.latency, seed=args.seed, think=args.think,
         repeats=args.repeats, duration=args.duration, n_items=args.items,
-        read_probability=args.pr)
+        read_probability=args.pr, trace_export=args.trace,
+        probe_interval=args.probe_interval)
     report = calibrate(spec, time_scale=args.time_scale)
     print(report.describe())
+    if args.trace:
+        from repro.obs.decompose import (
+            common_committed,
+            compare,
+            decompose_records,
+        )
+        from repro.obs.export import (
+            write_merged_chrome_trace,
+            write_phases_csv,
+        )
+
+        merged = report.live.merged
+        prefix = args.out
+        chrome = f"{prefix}.chrome.json"
+        csv_path = f"{prefix}.phases.csv"
+        write_merged_chrome_trace(chrome, merged.payloads)
+        write_phases_csv(csv_path, merged.records.values())
+        sim_records, live_records = common_committed(report.reference,
+                                                     merged)
+        divergence = compare(
+            decompose_records(sim_records, label=f"sim:{spec.protocol}"),
+            decompose_records(live_records, label=f"live:{spec.protocol}"))
+        print(divergence.describe())
+        print(f"wrote {chrome} (all processes on one timeline; open in "
+              f"Perfetto / chrome://tracing)")
+        print(f"wrote {csv_path} ({len(merged.records)} txn records)")
     if not report.ok:
         print("calibration FAILED", file=sys.stderr)
         return 1
@@ -374,7 +466,9 @@ def _cmd_list(_args):
           "scale (open-arrival population: throughput and p99 vs "
           "logical users, uniform vs Zipf hot keys), "
           "shard-crossover (shard count x inter-region latency "
-          "dominance grid)")
+          "dominance grid), "
+          "decompose (sim-vs-live per-phase latency divergence for "
+          "both calibration scenarios)")
     print("fidelities:", ", ".join(f.label for f in Fidelity))
     return 0
 
@@ -458,6 +552,43 @@ def build_parser():
     _add_workload_args(trace_parser)
     trace_parser.set_defaults(func=_cmd_trace)
 
+    decompose_parser = sub.add_parser(
+        "decompose", help="per-phase response-time decomposition of one "
+                          "traced run (add --live for the sim-vs-live "
+                          "divergence report over loopback TCP)")
+    decompose_parser.add_argument("--protocol", default="g2pl",
+                                  choices=available_protocols())
+    decompose_parser.add_argument("--out", default=None, metavar="PREFIX",
+                                  help="also write PREFIX.phases.csv")
+    decompose_parser.add_argument("--live", action="store_true",
+                                  help="run the scenario over real "
+                                       "processes too and attribute the "
+                                       "sim-vs-live gap per phase")
+    decompose_parser.add_argument("--mode", default="calibrate",
+                                  choices=("calibrate", "workload"),
+                                  help="live scenario mode (with --live)")
+    decompose_parser.add_argument("--live-clients", type=int, default=4,
+                                  metavar="N",
+                                  help="client processes for --live "
+                                       "(default 4)")
+    decompose_parser.add_argument("--live-latency", type=float,
+                                  default=2.0, metavar="L",
+                                  help="one-way latency in sim units for "
+                                       "--live (default 2.0)")
+    decompose_parser.add_argument("--time-scale", type=float, default=0.02,
+                                  metavar="S",
+                                  help="wall seconds per sim unit for "
+                                       "--live (default 0.02)")
+    decompose_parser.add_argument("--repeats", type=int, default=3,
+                                  help="calibrate-mode epochs (--live)")
+    decompose_parser.add_argument("--think", type=float, default=1.0,
+                                  help="calibrate-mode think time "
+                                       "(--live)")
+    decompose_parser.add_argument("--duration", type=float, default=120.0,
+                                  help="workload-mode horizon (--live)")
+    _add_workload_args(decompose_parser)
+    decompose_parser.set_defaults(func=_cmd_decompose)
+
     report_parser = sub.add_parser(
         "report", help="regenerate the full reproduction report "
                        "(all figures + round-accounting table)")
@@ -504,6 +635,20 @@ def build_parser():
     live_parser.add_argument("--pr", type=float, default=0.6,
                              help="workload-mode read probability")
     live_parser.add_argument("--seed", type=int, default=1)
+    live_parser.add_argument("--trace", action="store_true",
+                             help="export every endpoint's structured "
+                                  "events, merge them onto the shared "
+                                  "clock origin, and print the sim-vs-"
+                                  "live per-phase divergence report")
+    live_parser.add_argument("--probe-interval", type=float, default=None,
+                             metavar="T",
+                             help="sample per-endpoint gauges every T "
+                                  "sim units (with --trace they land in "
+                                  "the merged timeline)")
+    live_parser.add_argument("--out", default="live-trace",
+                             metavar="PREFIX",
+                             help="output path prefix for --trace "
+                                  "artifacts (default: live-trace)")
     live_parser.set_defaults(func=_cmd_live)
 
     list_parser = sub.add_parser("list", help="list protocols and figures")

@@ -270,7 +270,8 @@ def run_simulation(config, seed=None, check_serializability=None):
                              drivers)
     if tracer is not None and config.probe_interval is not None:
         ProbeSampler(sim, tracer, config.probe_interval,
-                     default_sources(sim, network, server_list, tracer),
+                     default_sources(sim, network, server_list, tracer,
+                                     drivers=drivers.values()),
                      stop_when=lambda: control.done).start()
 
     wall_start = time.perf_counter()

@@ -87,6 +87,18 @@ class EndpointStack:
             self.site = self.transport.add_site(server)
         else:
             self.site = self.transport.add_site(clients[config.site_id])
+        self.probes = None
+        if spec.probe_interval is not None:
+            from repro.obs.probes import ProbeSampler, default_sources
+
+            # Same gauge set as the simulator's runner, sampled on this
+            # endpoint's kernel heap; the first tick lands one interval
+            # after sim time zero. Gauges are read-only, so probing never
+            # perturbs protocol traffic.
+            self.probes = ProbeSampler(
+                self.kernel, self.tracer, spec.probe_interval,
+                default_sources(self.kernel, self.transport, self.site,
+                                self.tracer)).start()
 
     def payload(self):
         from repro.live.results import endpoint_payload

@@ -26,6 +26,10 @@ from repro.validate.history import HistoryRecorder
 _COMPONENT_KEYS = ("propagation", "transmission", "slack", "server_queue",
                    "client_think")
 
+#: phase sub-accounts (see :mod:`repro.obs.spans`), also summed across
+#: endpoints; absent from pre-phase payloads, so merged with a 0 default
+_PHASE_KEYS = ("commit_coord", "abort_resolution", "overhead")
+
 
 def outcome_to_dict(outcome, measured):
     return {
@@ -42,7 +46,7 @@ def endpoint_payload(role, site_id, spec, kernel, transport, tracer,
     """Everything one endpoint contributes to the merged run."""
     trace = tracer.finish(processed_events=kernel.processed_events,
                           peak_heap_depth=kernel.peak_heap_depth)
-    return {
+    payload = {
         "role": role,
         "site": site_id,
         "protocol": spec.protocol,
@@ -71,6 +75,16 @@ def endpoint_payload(role, site_id, spec, kernel, transport, tracer,
             "end_time": kernel.now,
         },
     }
+    if getattr(spec, "trace_export", False):
+        # All timestamps are already on the shared CLOCK_MONOTONIC origin
+        # (every kernel pins sim time zero to the same instant), so the
+        # harness can interleave the per-process streams into one timeline
+        # without any clock translation.
+        payload["trace_events"] = [[when, kind, fields]
+                                   for when, kind, fields in trace.events]
+        payload["probes"] = [[when, name, value]
+                             for when, name, value in trace.probes]
+    return payload
 
 
 def write_payload(path, payload):
@@ -119,8 +133,10 @@ class MergedRun:
                 if txn in self.records:
                     raise ValueError(
                         f"txn {txn} finished on two endpoints")
-                self.records[txn] = dict(record,
-                                         rounds=dict(record["rounds"]))
+                merged = dict(record, rounds=dict(record["rounds"]))
+                for key in _PHASE_KEYS:
+                    merged.setdefault(key, 0.0)
+                self.records[txn] = merged
         # History accesses in global time order — the order the simulator
         # would have appended them in a single-recorder run.
         accesses.sort(key=lambda a: (a[4], a[0], a[1]))
@@ -139,12 +155,39 @@ class MergedRun:
                     rounds[kind] = rounds.get(kind, 0) + count
                 for key in _COMPONENT_KEYS:
                     record[key] += partial[key]
+                for key in _PHASE_KEYS:
+                    record[key] += partial.get(key, 0.0)
         for record in self.records.values():
             record["rounds_sequential"] = sum(
                 count for kind, count in record["rounds"].items()
                 if kind not in NON_SEQUENTIAL_ROUND_KINDS)
             explained = sum(record[key] for key in _COMPONENT_KEYS)
-            record["lock_wait"] = record["response"] - explained
+            record["lock_wait"] = (record["response"] - explained
+                                   - record["overhead"])
+        self._enforce_span_invariant()
+
+    def _enforce_span_invariant(self):
+        """Decomposition exactness, checked at merge as promised.
+
+        Every merged record's phase spans must sum to its measured
+        response time. The residual construction makes this an identity,
+        so a failure here always means a charging bug (a component merged
+        twice, a phase charged outside the response window) — raise
+        loudly rather than report a silently-wrong decomposition.
+        """
+        from repro.obs.spans import sum_violation
+
+        violations = []
+        for record in self.records.values():
+            if not record.get("measured", True):
+                continue
+            bad = sum_violation(record)
+            if bad is not None:
+                violations.append(bad)
+        if violations:
+            raise AssertionError(
+                "live merge broke the span-sum invariant:\n  "
+                + "\n  ".join(violations[:10]))
 
     # -- views ----------------------------------------------------------------
 

@@ -66,6 +66,12 @@ class ScenarioSpec:
     duration: float = 200.0   # stop starting transactions at this time
     n_items: int = 25
     read_probability: float = 0.6
+    # observability (live runs): export every endpoint's structured
+    # events/probes in its payload so the harness can merge one
+    # cross-process Chrome trace; sample gauges every probe_interval
+    # sim units when set. Neither changes protocol traffic.
+    trace_export: bool = False
+    probe_interval: float = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -137,6 +143,8 @@ class ScenarioSpec:
             "epoch_gap": self.epoch_gap, "duration": self.duration,
             "n_items": self.n_items,
             "read_probability": self.read_probability,
+            "trace_export": self.trace_export,
+            "probe_interval": self.probe_interval,
         }
 
     @classmethod

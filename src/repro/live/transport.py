@@ -37,6 +37,18 @@ _HEADER = struct.Struct(">I")
 WIRE_DATA = 0
 WIRE_CONTROL = 1
 
+#: payload kinds a transaction *blocks* on — the only frames whose
+#: receiver-side lateness (actual arrival vs the sender-shaped delivery
+#: time) is response time the transaction actually experienced. Frames a
+#: transaction never waits for (releases, returns, retire notices) carry
+#: real lateness too, but charging it would book time outside the
+#: transaction's critical path and break the span-sum invariant.
+OVERHEAD_CHARGED_KINDS = frozenset({
+    "LockRequest", "DataShip", "GShip", "AbortNotice",
+    "PrepareRequest", "PrepareVote", "CommitDecision", "DecisionAck",
+    "ChainCommit", "ChainCommitAck", "CommitAck",
+})
+
 
 class TransportError(RuntimeError):
     """A live-transport invariant was violated (unknown peer, bad frame)."""
@@ -194,7 +206,23 @@ class LiveTransport(SiteRegistry):
                     f"frame for site {dst} arrived at endpoint "
                     f"{self.site_id}")
             envelope = Envelope(src, dst, payload, size, send_time)
-            envelope.deliver_time = self.kernel.wall_now()
+            now = self.kernel.wall_now()
+            envelope.deliver_time = now
+            tracer = self.kernel.tracer
+            if tracer is not None:
+                # Live process overhead: the sender shaped this frame to
+                # land at send_time + latency (the simulator's prediction);
+                # whatever arrives later than that is codec + event-loop +
+                # kernel-socket time. Charge it to the transaction blocked
+                # on the frame — the receiving endpoint's tracer carries it
+                # into the cross-process merge as a partial record.
+                txn_id = getattr(payload, "txn_id", None)
+                if (txn_id is not None
+                        and type(payload).__name__ in OVERHEAD_CHARGED_KINDS):
+                    excess = (now - send_time
+                              - self.topology.latency(src, dst))
+                    if excess > 0.0:
+                        tracer.overhead_charge(txn_id, excess)
             self.kernel.inject(self._deliver_local, envelope)
         elif kind == WIRE_CONTROL:
             _, name, sender, data = frame

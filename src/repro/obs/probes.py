@@ -35,7 +35,7 @@ class ProbeSampler:
         self.sim.call_later(self.interval, self._tick)
 
 
-def default_sources(sim, network, server, tracer):
+def default_sources(sim, network, server, tracer, drivers=None):
     """The standard gauge set: heap pending, in-flight messages, and —
     when the protocol server(s) expose them — lock-queue depth and
     forward-list occupancy.
@@ -43,6 +43,13 @@ def default_sources(sim, network, server, tracer):
     ``server`` may be a single protocol server or a list of them (sharded
     deployments); multi-server gauges report the sum over all shards, and
     a one-element list produces exactly the single-server series.
+
+    ``drivers`` (optional) adds population gauges for any driver exposing
+    a :class:`~repro.workload.population.PopulationState` (``.state``):
+    in-flight transactions, busy-user skips, and admission-shed counts —
+    aggregated plus a per-site in-flight series. Closed-loop
+    :class:`ClientDriver`\\ s have no ``state`` and contribute nothing, so
+    pre-population probe traces are unchanged.
     """
     servers = list(server) if isinstance(server, (list, tuple)) else [server]
     sources = [
@@ -57,4 +64,15 @@ def default_sources(sim, network, server, tracer):
     if with_fl:
         sources.append(("fl_occupancy",
                         lambda: sum(s.fl_occupancy() for s in with_fl)))
+    popn = [d for d in (drivers or []) if hasattr(d, "state")]
+    if popn:
+        sources.append(("popn_inflight",
+                        lambda: sum(len(d.state.active) for d in popn)))
+        sources.append(("popn_busy_skipped",
+                        lambda: sum(d.state.busy_skipped for d in popn)))
+        sources.append(("popn_shed",
+                        lambda: sum(d.state.shed for d in popn)))
+        for driver in popn:
+            sources.append((f"popn_inflight.site{driver.client_id}",
+                            lambda d=driver: len(d.state.active)))
     return sources

@@ -42,6 +42,7 @@ TXN_RECORD_KEYS = frozenset({
     "txn", "client", "committed", "measured", "start", "end", "response",
     "rounds", "rounds_sequential", "propagation", "transmission", "slack",
     "server_queue", "client_think", "lock_wait",
+    "commit_coord", "abort_resolution", "overhead",
 })
 
 

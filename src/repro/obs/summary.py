@@ -53,6 +53,12 @@ class TraceSummary:
     client_think_sum: float = 0.0
     slack_sum: float = 0.0
     lock_wait_sum: float = 0.0
+    #: phase sub-accounts (see repro.obs.spans): commit_coord and
+    #: abort_resolution re-attribute wire time already counted in the
+    #: component sums above; overhead is live-only time *outside* them.
+    commit_coord_sum: float = 0.0
+    abort_resolution_sum: float = 0.0
+    overhead_sum: float = 0.0
     messages_sent: int = 0
     msgs_by_kind: dict = field(default_factory=dict)
     drops_by_cause: dict = field(default_factory=dict)
@@ -97,6 +103,24 @@ class TraceSummary:
         if total <= 0:
             return {name: float("nan") for name in sums}
         return {name: value / total for name, value in sums.items()}
+
+    def phase_sums(self):
+        """Named-phase decomposition (see :mod:`repro.obs.spans`): the
+        component sums regrouped so every phase is disjoint and the
+        phases sum to ``response_sum`` exactly. ``network`` is the
+        generic wire time left after carving out the 2PC-coordination
+        and abort-resolution flights."""
+        wire = self.propagation_sum + self.transmission_sum + self.slack_sum
+        return {
+            "network": wire - self.commit_coord_sum
+                       - self.abort_resolution_sum,
+            "server_queue": self.server_queue_sum,
+            "client_think": self.client_think_sum,
+            "commit_coord": self.commit_coord_sum,
+            "abort_resolution": self.abort_resolution_sum,
+            "overhead": self.overhead_sum,
+            "lock_wait": self.lock_wait_sum,
+        }
 
     def describe(self):
         """Multi-line human summary, used by the CLI."""
@@ -152,6 +176,9 @@ class TraceSummary:
             out.client_think_sum += s.client_think_sum
             out.slack_sum += s.slack_sum
             out.lock_wait_sum += s.lock_wait_sum
+            out.commit_coord_sum += s.commit_coord_sum
+            out.abort_resolution_sum += s.abort_resolution_sum
+            out.overhead_sum += s.overhead_sum
             out.messages_sent += s.messages_sent
             _merge_counts(out.msgs_by_kind, s.msgs_by_kind)
             _merge_counts(out.drops_by_cause, s.drops_by_cause)

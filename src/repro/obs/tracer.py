@@ -62,7 +62,7 @@ class _TxnAcc:
 
     __slots__ = ("txn_id", "client_id", "begin", "rounds", "shard_rounds",
                  "propagation", "transmission", "slack", "server_queue",
-                 "client_think")
+                 "client_think", "commit_wire", "abort_wire", "overhead")
 
     def __init__(self, txn_id):
         self.txn_id = txn_id
@@ -75,6 +75,14 @@ class _TxnAcc:
         self.slack = 0.0
         self.server_queue = 0.0
         self.client_think = 0.0
+        # phase sub-accounts: wire time already counted in the components
+        # above but attributable to a named phase (2PC coordination,
+        # deadlock/abort resolution), plus live-only process overhead
+        # (receiver-side excess over the shaped delivery time) which is
+        # *not* part of the wire components.
+        self.commit_wire = 0.0
+        self.abort_wire = 0.0
+        self.overhead = 0.0
 
 
 class Tracer:
@@ -202,11 +210,18 @@ class Tracer:
             per_shard = table.setdefault(shard, {})
             per_shard[kind] = per_shard.get(kind, 0) + 1
 
-    def wire_charge(self, txn_id, envelope):
+    def wire_charge(self, txn_id, envelope, phase=None):
         """Charge an *awaited* message's wire time to the transaction that
         blocks on its arrival. ``envelope`` may be None (under fault
         injection the reliable link owns the wire) — then only the round
-        counts, the wire components are unknowable."""
+        counts, the wire components are unknowable.
+
+        ``phase`` sub-attributes the charged wire time to a named phase
+        without changing the component totals: ``"commit"`` marks 2PC /
+        chain-commit coordination flights, ``"abort"`` marks deadlock and
+        abort-resolution flights (the victim's AbortNotice). Untagged
+        charges land in the generic network phase.
+        """
         if envelope is None:
             return
         acc = self._acc(txn_id)
@@ -220,7 +235,22 @@ class Tracer:
                  - propagation - transmission)
         acc.propagation += propagation
         acc.transmission += transmission
-        acc.slack += slack if slack > 0.0 else 0.0
+        if slack <= 0.0:
+            slack = 0.0
+        acc.slack += slack
+        if phase is not None:
+            wire = propagation + transmission + slack
+            if phase == "commit":
+                acc.commit_wire += wire
+            elif phase == "abort":
+                acc.abort_wire += wire
+
+    def overhead_charge(self, txn_id, duration):
+        """Charge live-only process overhead: the receiver-side excess of a
+        frame's actual arrival over its shaped (sim-predicted) delivery
+        time — codec, event-loop scheduling, and kernel socket time. Never
+        called in simulation, so sim records keep ``overhead == 0.0``."""
+        self._acc(txn_id).overhead += duration
 
     def think_charge(self, txn_id, duration):
         self._acc(txn_id).client_think += duration
@@ -270,7 +300,10 @@ class Tracer:
              "rounds": dict(acc.rounds), "propagation": acc.propagation,
              "transmission": acc.transmission, "slack": acc.slack,
              "server_queue": acc.server_queue,
-             "client_think": acc.client_think}
+             "client_think": acc.client_think,
+             "commit_coord": acc.commit_wire,
+             "abort_resolution": acc.abort_wire,
+             "overhead": acc.overhead}
             for acc in self._live.values()
         ]
 
@@ -328,8 +361,14 @@ class Tracer:
             "slack": acc.slack,
             "server_queue": acc.server_queue,
             "client_think": acc.client_think,
+            # phase sub-accounts (see repro.obs.spans): commit_coord and
+            # abort_resolution re-attribute wire time already inside the
+            # components above; overhead is live-only extra time.
+            "commit_coord": acc.commit_wire,
+            "abort_resolution": acc.abort_wire,
+            "overhead": acc.overhead,
             # residual: time blocked on other transactions' locks
-            "lock_wait": meta["response"] - explained,
+            "lock_wait": meta["response"] - explained - acc.overhead,
         }
         if acc.shard_rounds:
             record["rounds_by_shard"] = {
@@ -375,6 +414,9 @@ class Tracer:
                 summary.client_think_sum += record["client_think"]
                 summary.slack_sum += record["slack"]
                 summary.lock_wait_sum += record["lock_wait"]
+                summary.commit_coord_sum += record["commit_coord"]
+                summary.abort_resolution_sum += record["abort_resolution"]
+                summary.overhead_sum += record["overhead"]
             else:
                 summary.aborted += 1
         for _, name, value in self.probes:

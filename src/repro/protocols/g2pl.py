@@ -327,7 +327,7 @@ class G2PLServer(ProtocolServer):
         if tracer is not None:
             tracer.emit("chain.commit", txn=msg.txn_id)
             tracer.round_charge(msg.txn_id, "commit_ack")
-            tracer.wire_charge(msg.txn_id, env)
+            tracer.wire_charge(msg.txn_id, env, phase="commit")
 
     def on_HandoffNote(self, msg):
         info = self._items[msg.item_id]
@@ -540,10 +540,14 @@ class G2PLServer(ProtocolServer):
         self._retire(txn_id)
         if reason == "client-crash":
             return  # nobody home to notify; chain repair moves the data
-        self.send(entry.client_id,
-                  AbortNotice(txn_id=txn_id, reason=reason,
-                              expect_items=expect),
-                  size=CONTROL_SIZE)
+        env = self.send(entry.client_id,
+                        AbortNotice(txn_id=txn_id, reason=reason,
+                                    expect_items=expect),
+                        size=CONTROL_SIZE)
+        if tracer is not None:
+            # Abort-resolution wire: the victim cannot make progress until
+            # the notice arrives (see the s-2PL counterpart).
+            tracer.wire_charge(txn_id, env, phase="abort")
 
     def _try_graft_reader(self, info, ref):
         """Read-only optimization: join a writer-free in-flight chain."""

@@ -231,8 +231,14 @@ class S2PLServer(ProtocolServer):
             tracer.emit("txn.abort", txn=txn_id, reason=reason)
         for grantee, item_id, mode in self.lock_table.drop_queued(txn_id):
             self._grant(grantee, item_id, mode)
-        self.send(client_id, AbortNotice(txn_id=txn_id, reason=reason),
-                  size=CONTROL_SIZE)
+        env = self.send(client_id, AbortNotice(txn_id=txn_id, reason=reason),
+                        size=CONTROL_SIZE)
+        if tracer is not None:
+            # The victim blocks (on a lock it will never get) until this
+            # notice lands: its wire time is abort-resolution, not generic
+            # network. Only aborted records carry the charge, so committed
+            # summary sums are untouched.
+            tracer.wire_charge(txn_id, env, phase="abort")
 
 
 class S2PLClient(ProtocolClient):

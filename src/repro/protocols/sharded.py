@@ -114,7 +114,7 @@ class TwoPhaseParticipant:
                 msg.txn_id, "vote" if msg.charge else "vote_concurrent",
                 shard=self.shard_tag)
             if msg.charge:
-                tracer.wire_charge(msg.txn_id, env)
+                tracer.wire_charge(msg.txn_id, env, phase="commit")
 
     def _send_decision_ack(self, msg, client_id):
         tracer = self.sim.tracer
@@ -128,7 +128,7 @@ class TwoPhaseParticipant:
                 "commit_ack" if msg.charge else "commit_ack_concurrent",
                 shard=self.shard_tag)
             if msg.charge:
-                tracer.wire_charge(msg.txn_id, env)
+                tracer.wire_charge(msg.txn_id, env, phase="commit")
 
     # -- cooperative termination ----------------------------------------------
 
@@ -570,7 +570,7 @@ class ShardedS2PLClient(TwoPhaseCoordinator, S2PLClient):
                     size=CONTROL_SIZE
                     + len(by_server[target]) * self.config.data_item_size)
                 if tracer is not None and index == 0:
-                    tracer.wire_charge(txn_id, env)
+                    tracer.wire_charge(txn_id, env, phase="commit")
             if tracer is not None:
                 tracer.round_charge(txn_id, "prepare")
             try:
@@ -603,8 +603,13 @@ class ShardedS2PLClient(TwoPhaseCoordinator, S2PLClient):
                 size=CONTROL_SIZE
                 + (len(payload) * self.config.data_item_size
                    if payload else 0))
-            if tracer is not None and index == 0 and ok:
-                tracer.wire_charge(txn_id, env)
+            # The decision flight is only *awaited* (and thus chargeable
+            # wire time) when acks are requested; in non-fault mode the
+            # coordinator commits fire-and-forget, so charging it would
+            # overstate response-time wire by one flight and drive the
+            # lock_wait residual negative.
+            if tracer is not None and index == 0 and want_acks:
+                tracer.wire_charge(txn_id, env, phase="commit")
         if tracer is not None:
             tracer.round_charge(txn_id, "decide")
         if not ok:
@@ -828,7 +833,7 @@ class ShardedG2PLClient(TwoPhaseCoordinator, G2PLClient):
                             size=CONTROL_SIZE
                             + len(writes) * self.config.data_item_size)
             if tracer is not None and index == 0:
-                tracer.wire_charge(txn_id, env)
+                tracer.wire_charge(txn_id, env, phase="commit")
         if tracer is not None:
             tracer.round_charge(txn_id, "prepare")
         try:
@@ -861,7 +866,7 @@ class ShardedG2PLClient(TwoPhaseCoordinator, G2PLClient):
                                            ack=True, charge=index == 0),
                             size=CONTROL_SIZE)
             if tracer is not None and index == 0:
-                tracer.wire_charge(txn_id, env)
+                tracer.wire_charge(txn_id, env, phase="commit")
         if tracer is not None:
             tracer.round_charge(txn_id, "decide")
         try:
