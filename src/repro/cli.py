@@ -87,6 +87,22 @@ def _add_workload_args(parser):
              "moments); auto switches on above the streaming "
              "threshold (default: auto)")
     parser.add_argument(
+        "--termination", default=None, choices=("global", "quota"),
+        help="run-length rule: 'global' stops at the Nth finished "
+             "transaction anywhere (the paper's rule); 'quota' gives "
+             "each client transactions/clients of the total (required "
+             "by --lp; default: global, or quota when --lp is given)")
+    parser.add_argument(
+        "--lp", action="store_true",
+        help="run each shard's server and co-located clients as a "
+             "logical process on its own core (needs --shards K > 1 and "
+             "a shard-local workload, --cross-shard 0); bit-identical "
+             "to the serial run")
+    parser.add_argument(
+        "--no-batch-delivery", action="store_true",
+        help="disable same-timestamp delivery batching in the transport "
+             "(A/B knob; trajectories are bit-identical either way)")
+    parser.add_argument(
         "--trace", action="store_true",
         help="collect structured trace events and per-transaction "
              "round/latency accounting (metrics stay bit-identical)")
@@ -114,6 +130,16 @@ def _add_jobs_arg(parser):
 def _config_from(args, protocol):
     streaming = {"on": True, "off": False,
                  "auto": None, None: None}[getattr(args, "streaming", None)]
+    lp = getattr(args, "lp", False)
+    termination = getattr(args, "termination", None)
+    if termination is None:
+        # --lp requires per-client quotas; picking it implicitly keeps
+        # "repro-experiment run --shards 4 --cross-shard 0 --lp" working
+        # without a second flag. An explicit --termination always wins.
+        termination = "quota" if lp else "global"
+    cross_shard = getattr(args, "cross_shard", None)
+    if lp and cross_shard is None:
+        cross_shard = 0.0
     return SimulationConfig(
         protocol=protocol, n_clients=args.clients, n_items=args.items,
         read_probability=args.pr, network_latency=args.latency,
@@ -124,7 +150,7 @@ def _config_from(args, protocol):
         n_regions=getattr(args, "regions", 1),
         intra_region_latency=getattr(args, "intra_latency", 1.0),
         commit_protocol=getattr(args, "commit", "2pc"),
-        cross_shard_probability=getattr(args, "cross_shard", None),
+        cross_shard_probability=cross_shard,
         population=getattr(args, "population", None),
         arrival=getattr(args, "arrival", "poisson"),
         arrival_rate=getattr(args, "arrival_rate", 0.001),
@@ -132,6 +158,9 @@ def _config_from(args, protocol):
         txn_mix=getattr(args, "txn_mix", None),
         max_inflight_per_site=getattr(args, "max_inflight", 256),
         streaming=streaming,
+        termination=termination,
+        lp=lp,
+        batch_delivery=not getattr(args, "no_batch_delivery", False),
         trace=getattr(args, "trace", False),
         probe_interval=getattr(args, "probe_interval", None),
         record_history=False)

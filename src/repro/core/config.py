@@ -132,6 +132,22 @@ class SimulationConfig:
     warmup_transactions: int = 150
     seed: int = 1
     record_history: bool = True
+    # run-length accounting: "global" stops at the Nth finished
+    # transaction anywhere (the paper's rule); "quota" gives each client
+    # total/n_clients transactions (remainder to the lowest client ids)
+    # and stops when every client has met its quota. Quota termination is
+    # decomposable per client, which is what lets LP-partitioned runs
+    # reproduce the serial trajectory exactly.
+    termination: str = "global"
+
+    # kernel: coalesce same-timestamp deliveries per link into one heap
+    # entry that fans out on pop (bit-identical trajectories; see
+    # network/transport.py). Off switch for A/B benchmarking.
+    batch_delivery: bool = True
+    # run shards as conservatively-synchronized logical processes over
+    # a process pool (repro.core.lp); requires n_shards > 1, quota
+    # termination, and a shard-local workload (cross_shard_probability=0)
+    lp: bool = False
 
     # observability (repro.obs): structured tracing and time-series probes.
     # Tracing never perturbs results — metrics are bit-identical either way.
@@ -208,6 +224,23 @@ class SimulationConfig:
             # Validate eagerly (raises on malformed specs); the parsed
             # classes are rebuilt where needed, the config keeps the string.
             parse_txn_mix(self.txn_mix, n_items=self.n_items)
+        if self.termination not in ("global", "quota"):
+            raise ValueError(
+                f"unknown termination {self.termination!r} "
+                f"(expected 'global' or 'quota')")
+        if self.termination == "quota" and self.population is not None:
+            raise ValueError(
+                "quota termination is defined for the closed-loop client "
+                "model; open-arrival populations use 'global'")
+        if (self.termination == "quota"
+                and self.total_transactions < self.n_clients):
+            raise ValueError(
+                f"quota termination needs total_transactions >= n_clients "
+                f"({self.total_transactions} < {self.n_clients})")
+        if self.lp and self.n_shards < 2:
+            raise ValueError(
+                "lp=True partitions the run along shard boundaries; "
+                "it needs n_shards > 1")
         if self.streaming_threshold < 0:
             raise ValueError("streaming_threshold must be >= 0")
         if self.reservoir_capacity < 2:

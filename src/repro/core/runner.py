@@ -1,6 +1,7 @@
 """Assemble and run simulations; replicate; compare protocols."""
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -15,7 +16,7 @@ from repro.network.transport import Network
 from repro.protocols.registry import make_protocol
 from repro.protocols.sharded import make_sharded_protocol
 from repro.protocols.sharding import GlobalDeadlockDetector, ShardMap
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, relaxed_gc
 from repro.sim.errors import SimulationError
 from repro.sim.rng import RandomStreams
 from repro.stats.ci import mean_confidence_interval
@@ -27,7 +28,7 @@ from repro.validate.history import HistoryRecorder
 from repro.validate.serializability import check_history
 from repro.validate.strictness import check_strictness
 from repro.workload.arrivals import make_arrivals
-from repro.workload.driver import ClientDriver, RunControl
+from repro.workload.driver import ClientDriver, QuotaRunControl, RunControl
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.population import (
     OpenArrivalGenerator,
@@ -172,6 +173,23 @@ def run_simulation(config, seed=None, check_serializability=None):
         seed = config.seed
     if check_serializability is None:
         check_serializability = config.record_history
+    if config.lp:
+        from repro.core import lp
+
+        lp.validate_lp_config(config)
+        if lp.in_worker_process():
+            # --lp inside a --jobs pool worker: spawning LP grandchildren
+            # would oversubscribe the machine. The serial path below
+            # produces the identical result by construction.
+            warnings.warn(
+                "lp=True inside a worker process: nested process pools "
+                "are not supported; running this cell serially instead "
+                "(the result is bit-identical)", RuntimeWarning,
+                stacklevel=2)
+        else:
+            return lp.run_lp_simulation(
+                config, seed=seed,
+                check_serializability=check_serializability)
 
     sim = Simulator()
     tracer = None
@@ -188,7 +206,8 @@ def run_simulation(config, seed=None, check_serializability=None):
         injector = FaultInjector(config.faults, streams.spawn("faults"))
         _validate_faults(config, injector)
     network = Network(sim, _build_topology(config, shard_map),
-                      bandwidth=config.bandwidth, faults=injector)
+                      bandwidth=config.bandwidth, faults=injector,
+                      batch_delivery=config.batch_delivery)
     if tracer is not None:
         tracer.bind_network(network)
     client_ids = list(range(1, config.n_clients + 1))
@@ -213,7 +232,11 @@ def run_simulation(config, seed=None, check_serializability=None):
     for client in clients.values():
         network.add_site(client)
 
-    control = RunControl(sim, config.total_transactions)
+    if config.termination == "quota":
+        control = QuotaRunControl(sim, config.total_transactions,
+                                  config.n_clients)
+    else:
+        control = RunControl(sim, config.total_transactions)
     streaming = config.streaming_enabled
     collector = MetricsCollector(
         config.warmup_transactions, streaming=streaming,
@@ -276,7 +299,8 @@ def run_simulation(config, seed=None, check_serializability=None):
 
     wall_start = time.perf_counter()
     try:
-        sim.run(until=control.done_event)
+        with relaxed_gc():
+            sim.run(until=control.done_event)
     except SimulationError as exc:
         raise RuntimeError(
             f"simulation stalled after {control.finished} of "

@@ -19,8 +19,25 @@ All fast paths produce byte-identical trajectories to the original
 single-path implementation: same envelope fields, same heap timestamps
 (including the ``now + (deliver - now)`` float quirk of the original
 relative scheduling), same FIFO clamping, same stats.
+
+Batched delivery (the default; ``config.batch_delivery``) goes one step
+further: consecutive sends on the same (src, dst) link that compute the
+*same* delivery timestamp coalesce into one heap entry holding a mutable
+list, which fans out on pop.  Coalescing is only allowed while the batch
+entry is the most recent heap push — every scheduling call allocates a
+sequence number, so ``seq == batch.last_seq + 1`` proves nothing was
+scheduled in between — which makes the fan-out order provably identical
+to the unbatched per-message heap order (each appended message consumes
+the very sequence number its own heap entry would have carried).  The
+engine's logical-delivery counters (``Simulator._hidden`` /
+``_extra_events`` / ``_batch_peak``) keep ``pending``,
+``processed_events`` and ``peak_heap_depth`` identical to an unbatched
+run.  The faulted path never batches (jitter makes shared timestamps
+rare and duplicates complicate fan-out), and batching turns itself off
+under the per-heap-entry engine trace hook.
 """
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.network.message import Envelope
@@ -106,7 +123,8 @@ class Network(SiteRegistry):
     endpoint.
     """
 
-    def __init__(self, sim, topology, bandwidth=None, faults=None):
+    def __init__(self, sim, topology, bandwidth=None, faults=None,
+                 batch_delivery=True):
         if bandwidth is not None and bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
         super().__init__()
@@ -114,9 +132,12 @@ class Network(SiteRegistry):
         self.topology = topology
         self.bandwidth = bandwidth
         self.faults = faults
+        self.batch_delivery = batch_delivery
         self.stats = NetworkStats()
         self._last_deliver = {}  # (src, dst) -> last scheduled delivery time
         self._latency_cache = {}  # (src, dst) -> topology latency
+        self._open_batches = {}  # (src, dst) -> [key, items, when, last_seq]
+        self._thunk_cache = {}   # dst -> (callable, takes_payload)
         self._tracer = None
         self.refresh_fast_path()
 
@@ -130,12 +151,21 @@ class Network(SiteRegistry):
         tracer or faults checks.
         """
         tracer = self._tracer = self.sim.tracer
+        # Per-heap-entry engine tracing samples every dispatch; a batch
+        # entry would collapse k dispatch samples into one, so batching
+        # stands down when that hook is armed.
+        batch = (self.batch_delivery and self.faults is None
+                 and (tracer is None or not tracer.engine_events))
+        self._open_batches.clear()
+        self._thunk_cache.clear()
         if self.faults is not None:
             self.send = self._send_faulted
         elif tracer is not None:
-            self.send = self._send_traced
+            self.send = (self._send_traced_batched if batch
+                         else self._send_traced)
         else:
-            self.send = self._send_plain
+            self.send = (self._send_plain_batched if batch
+                         else self._send_plain)
         self._deliver_impl = (self._deliver_plain if tracer is None
                               else self._deliver_traced)
 
@@ -219,6 +249,213 @@ class Network(SiteRegistry):
         tracer.net_scheduled(envelope)
         tracer.net_send(envelope, payload_kind(payload))
         return envelope
+
+    # -- batched sends -------------------------------------------------------
+    #
+    # A batch record is ``[key, items, when, last_seq, fn]``; the heap
+    # entry holds the record itself, so later sends extend it in place
+    # without touching the heap.  Every item on a record shares one
+    # destination (batches are per link), so the delivery call ``fn`` is
+    # resolved once per record, not per message.  The ``last_seq``
+    # contiguity check (see module docstring) makes appending exactly
+    # equivalent to pushing a fresh per-message entry, because the
+    # appended message consumes the very sequence number that entry would
+    # have carried.  Only stock protocol sites batch; a site with a
+    # custom ``receive`` (or a reliable channel) keeps the classic
+    # one-entry-per-message schedule, which is faster for traffic that
+    # can never coalesce.
+
+    def _resolve_thunk(self, dst):
+        """Pick the per-destination delivery treatment once per run.
+
+        Stock dispatcher sites with no reliable channel batch, taking the
+        payload straight into ``_dispatch`` (untraced) or the envelope
+        into ``receive`` (traced).  Anything else returns False: those
+        destinations use the classic unbatched schedule.
+        """
+        site = self._sites[dst]
+        from repro.protocols.base import _Dispatcher
+
+        if (isinstance(site, _Dispatcher)
+                and type(site).receive is _Dispatcher.receive
+                and site.reliable is None):
+            fn = site._dispatch if self._tracer is None else site.receive
+        else:
+            fn = False
+        self._thunk_cache[dst] = fn
+        return fn
+
+    def _send_plain_batched(self, src, dst, payload, size=1.0):
+        """Batched fast path: no tracer, no faults (the default)."""
+        sites = self._sites
+        if dst not in sites:
+            raise KeyError(f"unknown destination site {dst!r}")
+        if src not in sites:
+            raise KeyError(f"unknown source site {src!r}")
+        sim = self.sim
+        now = sim._now
+        envelope = Envelope(src, dst, payload, size, now)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.data_units_sent += size
+        kind = payload_kind(payload)
+        per_type = stats.per_type
+        per_type[kind] = per_type.get(kind, 0) + 1
+        latency_cache = self._latency_cache
+        key = (src, dst)
+        latency = latency_cache.get(key)
+        if latency is None:
+            latency = latency_cache[key] = self.topology.latency(src, dst)
+        if self.bandwidth is not None:
+            latency = latency + size / self.bandwidth
+        deliver = now + latency
+        last = self._last_deliver
+        prev = last.get(key)
+        if prev is not None and prev > deliver:
+            deliver = prev
+        last[key] = deliver
+        envelope.deliver_time = deliver
+        # now + (deliver - now): the exact float the unbatched path
+        # schedules at (see _send_plain).
+        when = now + (deliver - now)
+        cache = self._thunk_cache
+        fn = cache[dst] if dst in cache else self._resolve_thunk(dst)
+        if fn is False:
+            sim.schedule_at(when, self._deliver_plain, envelope)
+            return envelope
+        seq = next(sim._seq)
+        rec = self._open_batches.get(key)
+        if rec is not None and rec[2] == when and rec[3] == seq - 1:
+            rec[1].append(payload)
+            rec[3] = seq
+            sim._hidden += 1
+        else:
+            rec = [key, [payload], when, seq, fn]
+            self._open_batches[key] = rec
+            heapq.heappush(sim._heap,
+                           (when, seq, self._deliver_batch, (rec,)))
+        return envelope
+
+    def _send_traced_batched(self, src, dst, payload, size=1.0):
+        """Batched with a tracer attached: items carry full envelopes so
+        the fan-out can replay ``net_delivered`` per message."""
+        sites = self._sites
+        if dst not in sites:
+            raise KeyError(f"unknown destination site {dst!r}")
+        if src not in sites:
+            raise KeyError(f"unknown source site {src!r}")
+        sim = self.sim
+        now = sim._now
+        envelope = Envelope(src, dst, payload, size, now)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.data_units_sent += size
+        kind = payload_kind(payload)
+        per_type = stats.per_type
+        per_type[kind] = per_type.get(kind, 0) + 1
+        latency_cache = self._latency_cache
+        key = (src, dst)
+        latency = latency_cache.get(key)
+        if latency is None:
+            latency = latency_cache[key] = self.topology.latency(src, dst)
+        if self.bandwidth is not None:
+            latency = latency + size / self.bandwidth
+        deliver = now + latency
+        last = self._last_deliver
+        prev = last.get(key)
+        if prev is not None and prev > deliver:
+            deliver = prev
+        last[key] = deliver
+        envelope.deliver_time = deliver
+        when = now + (deliver - now)
+        cache = self._thunk_cache
+        fn = cache[dst] if dst in cache else self._resolve_thunk(dst)
+        if fn is False:
+            sim.schedule_at(when, self._deliver_traced, envelope)
+        else:
+            seq = next(sim._seq)
+            rec = self._open_batches.get(key)
+            if rec is not None and rec[2] == when and rec[3] == seq - 1:
+                rec[1].append(envelope)
+                rec[3] = seq
+                sim._hidden += 1
+            else:
+                rec = [key, [envelope], when, seq, fn]
+                self._open_batches[key] = rec
+                heapq.heappush(
+                    sim._heap,
+                    (when, seq, self._deliver_batch_traced, (rec,)))
+        tracer = self._tracer
+        tracer.net_scheduled(envelope)
+        tracer.net_send(envelope, kind)
+        return envelope
+
+    def _deliver_batch(self, rec):
+        """Fan a coalesced entry out in append (= sequence) order.
+
+        The record is closed first so a handler's same-timestamp send on
+        this link opens a fresh entry (it pops right after this one —
+        unbatched order).  Depth samples and the extra-delivery count are
+        reported per logical delivery, so engine diagnostics match the
+        unbatched run exactly (``k - idx`` deliveries of this batch are
+        still pending when delivery ``idx`` is sampled).
+        """
+        open_batches = self._open_batches
+        key = rec[0]
+        if open_batches.get(key) is rec:
+            del open_batches[key]
+        lst = rec[1]
+        fn = rec[4]
+        if len(lst) == 1:
+            fn(lst[0])
+            return
+        sim = self.sim
+        k = len(lst)
+        sim._hidden -= k - 1
+        heap = sim._heap
+        batch_peak = sim._batch_peak
+        idx = 0
+        for arg in lst:
+            if idx:
+                depth = len(heap) + sim._hidden + (k - idx)
+                if depth > batch_peak:
+                    batch_peak = depth
+            idx += 1
+            fn(arg)
+        sim._batch_peak = batch_peak
+        sim._extra_events += k - 1
+
+    def _deliver_batch_traced(self, rec):
+        """Traced fan-out: ``net_delivered`` fires per envelope, exactly
+        as the unbatched per-entry deliveries would."""
+        open_batches = self._open_batches
+        key = rec[0]
+        if open_batches.get(key) is rec:
+            del open_batches[key]
+        lst = rec[1]
+        fn = rec[4]
+        tracer = self._tracer
+        if len(lst) == 1:
+            env = lst[0]
+            tracer.net_delivered(env)
+            fn(env)
+            return
+        sim = self.sim
+        k = len(lst)
+        sim._hidden -= k - 1
+        heap = sim._heap
+        batch_peak = sim._batch_peak
+        idx = 0
+        for env in lst:
+            if idx:
+                depth = len(heap) + sim._hidden + (k - idx)
+                if depth > batch_peak:
+                    batch_peak = depth
+            idx += 1
+            tracer.net_delivered(env)
+            fn(env)
+        sim._batch_peak = batch_peak
+        sim._extra_events += k - 1
 
     def _send_faulted(self, src, dst, payload, size=1.0):
         """Fault injector consulted per send; tracer optional."""

@@ -21,6 +21,13 @@ Runs a fixed set of cells spanning the layers the fast path touches:
   10⁵ logical users (10⁴ in quick mode) with Zipf skew and streaming
   metrics: exercises arrival sampling, user multiplexing, admission
   control, and the bounded-memory metrics path.
+* ``sharded_serial`` / ``sharded_lp`` — the same shard-closed g-2PL
+  cell run serially and partitioned into one logical process per shard
+  (``lp=True``, :mod:`repro.core.lp`).  Identical config and seed, so
+  the two digests must agree — a live LP bit-identity probe.  The LP
+  cell also records per-shard worker CPU time: on a single-core host
+  the wall-clock numbers cannot show the parallel speedup, but
+  ``lp_max_worker_cpu_seconds`` (the multicore critical path) can.
 
 Every macro cell embeds the deterministic fingerprint digest of its
 result, so a bench run doubles as a determinism probe: if a kernel
@@ -65,7 +72,7 @@ class BenchCell:
 
 def _engine_churn(quick):
     """Timer arm/cancel churn plus timeout processes on a bare kernel."""
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import Simulator, relaxed_gc
     from repro.sim.timers import Timer
 
     rounds = 4_000 if quick else 20_000
@@ -83,7 +90,8 @@ def _engine_churn(quick):
     for offset in range(4):
         sim.spawn(churner(offset))
     start = time.perf_counter()
-    sim.run()
+    with relaxed_gc():
+        sim.run()
     wall = time.perf_counter() - start
     events = sim.processed_events
     return {
@@ -99,7 +107,7 @@ def _net_ping(quick):
     """Two sites ping-ponging payloads through the transport."""
     from repro.network.topology import Site, UniformTopology
     from repro.network.transport import Network
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import Simulator, relaxed_gc
 
     pings = 10_000 if quick else 50_000
 
@@ -123,7 +131,8 @@ def _net_ping(quick):
     payload = ("ping", 42)
     start = time.perf_counter()
     left.send(2, payload, size=2.0)
-    sim.run()
+    with relaxed_gc():
+        sim.run()
     wall = time.perf_counter() - start
     events = sim.processed_events
     return {
@@ -158,7 +167,7 @@ def _run_macro(config):
 
     result = run_simulation(config)
     stats = result.engine_stats
-    return {
+    measured = {
         "wall_seconds": stats["wall_seconds"],
         "events": stats["processed_events"],
         "events_per_sec": stats["events_per_sec"],
@@ -170,6 +179,11 @@ def _run_macro(config):
                               if stats["wall_seconds"] > 0 else 0.0),
         "digest": fingerprint_digest(result_fingerprint(result)),
     }
+    for key in ("lp_workers", "lp_max_worker_cpu_seconds",
+                "lp_total_worker_cpu_seconds"):
+        if key in stats:
+            measured[key] = stats[key]
+    return measured
 
 
 def _s2pl_contention(quick):
@@ -208,6 +222,34 @@ def _population_100k(quick):
         warmup_transactions=60 if quick else 200))
 
 
+def _sharded_config(quick, lp):
+    """The LP scaling pair: one shard-closed run, serial vs partitioned.
+
+    40 clients over 4 shards (10 per shard on 8 local items each),
+    cross_shard_probability=0.0, quota termination — exactly the
+    eligibility class of :mod:`repro.core.lp`.  Both cells run the same
+    config and seed, so their digests must be identical: the pair is a
+    live LP-vs-serial bit-identity probe as well as a scaling benchmark.
+    """
+    transactions = 400 if quick else 24_000
+    warmup = 50 if quick else 400
+    return SimulationConfig(
+        protocol="g2pl", n_clients=40, n_items=32, read_probability=0.6,
+        n_shards=4, n_regions=4, cross_shard_probability=0.0,
+        network_latency=100.0, intra_region_latency=1.0,
+        total_transactions=transactions, warmup_transactions=warmup,
+        termination="quota", streaming=False, seed=73,
+        record_history=False, lp=lp)
+
+
+def _sharded_serial(quick):
+    return _run_macro(_sharded_config(quick, lp=False))
+
+
+def _sharded_lp(quick):
+    return _run_macro(_sharded_config(quick, lp=True))
+
+
 def bench_cells():
     """The fixed cell set, in run order."""
     return [
@@ -233,6 +275,13 @@ def bench_cells():
                   "open-arrival population (10^5 users full, 10^4 quick), "
                   "Zipf 0.5, streaming metrics",
                   _population_100k),
+        BenchCell("sharded_serial", "macro",
+                  "shard-closed g-2PL, 40 clients on 4 shards, serial",
+                  _sharded_serial),
+        BenchCell("sharded_lp", "macro",
+                  "same cell partitioned into 4 logical processes "
+                  "(lp=True); digest must equal sharded_serial",
+                  _sharded_lp),
     ]
 
 

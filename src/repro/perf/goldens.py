@@ -69,6 +69,22 @@ GOLDEN_CELLS = {
         network_latency=100.0, intra_region_latency=1.0,
         total_transactions=120, warmup_transactions=20, trace=True,
         record_history=False), 11),
+    # Shard-closed quota cells: the LP partitioner's eligibility class
+    # (cross_shard_probability=0.0, quota termination, no faults/trace).
+    # Recorded *serially*; tests/test_lp.py replays them through the
+    # multi-process LP runner and requires byte identity.
+    "g2pl_lp_quota": (dict(
+        protocol="g2pl", n_clients=8, n_items=16, read_probability=0.6,
+        n_shards=4, n_regions=2, cross_shard_probability=0.0,
+        network_latency=100.0, intra_region_latency=1.0,
+        total_transactions=160, warmup_transactions=20,
+        termination="quota", record_history=False), 11),
+    "s2pl_lp_quota": (dict(
+        protocol="s2pl", n_clients=8, n_items=16, read_probability=0.6,
+        n_shards=4, n_regions=2, cross_shard_probability=0.0,
+        network_latency=100.0, intra_region_latency=1.0,
+        total_transactions=160, warmup_transactions=20,
+        termination="quota", record_history=False), 11),
 }
 
 

@@ -2,7 +2,8 @@
 
 from repro.network.topology import Site
 from repro.protocols.messages import CONTROL_SIZE
-from repro.protocols.transaction import TxnOutcome
+from repro.protocols.transaction import TxnOutcome, TxnStatus
+from repro.storage.wal import LogRecordType
 
 SERVER_SITE_ID = 0
 
@@ -123,8 +124,6 @@ class ProtocolServer(_Dispatcher):
     def install_updates(self, txn_id, updates):
         """WAL-then-install the committed ``updates`` (item -> value), then
         force the log and garbage collect the durable prefix."""
-        from repro.storage.wal import LogRecordType
-
         if not updates:
             return
         for item_id, value in updates.items():
@@ -228,7 +227,12 @@ class ProtocolClient(_Dispatcher):
     def think(self, txn_id, duration):
         """Client-side processing pause, charged to the transaction's
         think-time account. Touches only the kernel contract, so it runs
-        identically under the simulator and the live kernel."""
+        identically under the simulator and the live kernel.
+
+        Hot op loops may inline the untraced equivalent
+        (``yield self.sim.timeout(duration)``) to skip the delegated
+        generator frame; this method is the traced path and the contract.
+        """
         yield self.sim.timeout(duration)
         tracer = self.sim.tracer
         if tracer is not None:
@@ -245,8 +249,6 @@ class ProtocolClient(_Dispatcher):
 
     def make_outcome(self, txn, start_time, end_time):
         """Assemble the outcome record the driver hands to the collector."""
-        from repro.protocols.transaction import TxnStatus
-
         return TxnOutcome(
             txn_id=txn.txn_id,
             client_id=txn.client_id,

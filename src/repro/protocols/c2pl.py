@@ -123,6 +123,14 @@ class C2PLServer(S2PLServer):
             wfg.add_edge(writer, busy)
         return wfg
 
+    def _extra_wait_edges(self):
+        if not self._busy_edges:
+            return None
+        extra = {}
+        for writer, busy in self._busy_edges:
+            extra.setdefault(writer, set()).add(busy)
+        return extra
+
     def _drop_busy_edges(self, writer):
         for key in [k for k in self._busy_edges if k[0] == writer]:
             del self._busy_edges[key]

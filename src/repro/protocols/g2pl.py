@@ -65,6 +65,7 @@ from repro.protocols.messages import (
 from repro.protocols.precedence import PrecedenceGraph
 from repro.sim.errors import Interrupt
 from repro.sim.timers import Timer
+from repro.storage.wal import LogRecordType
 
 FL_ORDERINGS = ("fifo", "reads_first", "writes_first")
 
@@ -500,8 +501,6 @@ class G2PLServer(ProtocolServer):
     # -- internals -----------------------------------------------------------
 
     def _install_returned(self, item_id, version, value):
-        from repro.storage.wal import LogRecordType
-
         # Tag the records with a unique unit-of-installation id so the
         # recovery redo pass can pair UPDATE with its COMMIT.
         unit = ("return", item_id, version)
@@ -534,9 +533,12 @@ class G2PLServer(ProtocolServer):
             tracer.emit("txn.abort", txn=txn_id, reason=reason)
         expect = tuple(sorted(entry.chain_items))
         # Defensive: purge any window entries (none exist for a sequential
-        # client, but cheap to guarantee).
+        # client, but cheap to guarantee). Rebuild only windows that
+        # actually mention the victim — almost none do.
         for info in self._items.values():
-            info.window = [w for w in info.window if w.ref.txn_id != txn_id]
+            if any(w.ref.txn_id == txn_id for w in info.window):
+                info.window = [w for w in info.window
+                               if w.ref.txn_id != txn_id]
         self._retire(txn_id)
         if reason == "client-crash":
             return  # nobody home to notify; chain repair moves the data
@@ -596,9 +598,13 @@ class G2PLServer(ProtocolServer):
         if not info.at_server or not info.window:
             return
         window = info.window
-        order = self.precedence.linear_extension(
-            [w.ref.txn_id for w in window],
-            key=self._ordering_key(window))
+        if len(window) == 1:
+            # A one-request window needs no ordering key and no extension.
+            order = [window[0].ref.txn_id]
+        else:
+            order = self.precedence.linear_extension(
+                [w.ref.txn_id for w in window],
+                key=self._ordering_key(window))
         by_txn = {w.ref.txn_id: w for w in window}
         cap = self.config.max_forward_list_length
         selected_ids = order if cap is None else order[:cap]
@@ -1103,7 +1109,10 @@ class G2PLClient(ProtocolClient):
                     break
                 self.op_waits.append(self.sim.now - requested_at)
                 hold = msg
-                yield from self.think(txn.txn_id, op.think_time)
+                if tracer is None:
+                    yield self.sim.timeout(op.think_time)
+                else:
+                    yield from self.think(txn.txn_id, op.think_time)
                 notice = self._abort_flags.pop(txn.txn_id, None)
                 if notice is not None:
                     txn.abort(notice.reason)

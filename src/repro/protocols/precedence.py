@@ -179,6 +179,8 @@ class PrecedenceGraph:
         returned order can never create a cycle.
         """
         nodes = list(nodes)
+        if len(nodes) <= 1:
+            return nodes  # nothing to order (the common light-load window)
         if key is None:
             rank = {node: i for i, node in enumerate(nodes)}
             key = rank.__getitem__

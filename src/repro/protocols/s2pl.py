@@ -187,11 +187,65 @@ class S2PLServer(ProtocolServer):
                 wfg.add_edges(txn_id, table.blockers_of(txn_id, item_id))
         return wfg
 
+    def _extra_wait_edges(self):
+        """Wait-for edges beyond lock-queue blocking (subclass hook; c-2PL
+        adds callback busy edges). None when there are none."""
+        return None
+
+    def _find_cycle_from(self, requester):
+        """A wait-for cycle through ``requester`` (first == last), or None.
+
+        Equivalent to ``self._build_waitfor_graph().find_cycle_from(...)``
+        — same DFS, same sorted successor order, so the identical cycle
+        comes back — but blocker edges are computed only for transactions
+        the search actually reaches.  Detection runs on every request that
+        queues and almost always finds nothing; materialising the full
+        graph first made it the hottest path of the s-2PL server.
+        """
+        table = self.lock_table
+        waits = {}
+        for item_id, lock in table._items.items():
+            for txn_id, _mode in lock.queue:
+                waits.setdefault(txn_id, []).append(item_id)
+        extra = self._extra_wait_edges()
+
+        def successors(node):
+            succ = set()
+            items = waits.get(node)
+            if items:
+                for item_id in items:
+                    succ.update(table.blockers_of(node, item_id))
+            if extra is not None:
+                found = extra.get(node)
+                if found:
+                    succ |= found
+            succ.discard(node)
+            return succ
+
+        parent = {}
+        stack = [requester]
+        visited = {requester}
+        while stack:
+            node = stack.pop()
+            for nxt in sorted(successors(node), key=repr, reverse=True):
+                if nxt == requester:
+                    path = [requester, node]
+                    cursor = node
+                    while cursor != requester:
+                        cursor = parent[cursor]
+                        path.append(cursor)
+                    path.reverse()
+                    return path
+                if nxt not in visited:
+                    visited.add(nxt)
+                    parent[nxt] = node
+                    stack.append(nxt)
+        return None
+
     def _detect_and_resolve(self, requester):
         """Abort transactions until no wait-for cycle involves ``requester``."""
         while True:
-            wfg = self._build_waitfor_graph()
-            cycle = wfg.find_cycle_from(requester)
+            cycle = self._find_cycle_from(requester)
             if cycle is None:
                 return
             self.deadlocks_found += 1
@@ -341,7 +395,10 @@ class S2PLClient(ProtocolClient):
                     txn.abort(msg.reason)
                     break
                 self.op_waits.append(self.sim.now - requested_at)
-                yield from self.think(txn.txn_id, op.think_time)
+                if tracer is None:
+                    yield self.sim.timeout(op.think_time)
+                else:
+                    yield from self.think(txn.txn_id, op.think_time)
                 notice = self._abort_flags.pop(txn.txn_id, None)
                 if notice is not None:
                     txn.abort(notice.reason)

@@ -61,7 +61,7 @@ from repro.protocols.messages import (
     PrepareVote,
 )
 from repro.protocols.s2pl import S2PLClient, S2PLServer
-from repro.protocols.sharding import SharedPrecedence
+from repro.protocols.sharding import SharedPrecedence, shard_site_id
 from repro.sim.errors import Interrupt
 from repro.sim.timers import Timer
 
@@ -883,6 +883,21 @@ class ShardedG2PLClient(TwoPhaseCoordinator, G2PLClient):
 # Factory
 # ---------------------------------------------------------------------------
 
+def _variant_config(name, config):
+    """Apply the registry's variant pins (``g2pl-basic`` -> no MR1W,
+    ``g2pl-ro`` -> read-group expansion) to a sharded deployment."""
+    if name not in SHARDED_PROTOCOLS:
+        raise ValueError(
+            f"protocol {name!r} does not support sharding; "
+            f"choose from {sorted(SHARDED_PROTOCOLS)}")
+    overrides = {}
+    if name == "g2pl-basic":
+        overrides["mr1w"] = False
+    elif name == "g2pl-ro":
+        overrides["expand_read_groups"] = True
+    return config.replace(**overrides) if overrides else config
+
+
 def make_sharded_protocol(name, sim, config, shard_map, stores, wals,
                           history, client_ids):
     """Instantiate one home server per shard plus the sharded clients.
@@ -893,17 +908,7 @@ def make_sharded_protocol(name, sim, config, shard_map, stores, wals,
     registry's variant pins (``g2pl-basic`` -> no MR1W, ``g2pl-ro`` ->
     read-group expansion).
     """
-    if name not in SHARDED_PROTOCOLS:
-        raise ValueError(
-            f"protocol {name!r} does not support sharding; "
-            f"choose from {sorted(SHARDED_PROTOCOLS)}")
-    overrides = {}
-    if name == "g2pl-basic":
-        overrides["mr1w"] = False
-    elif name == "g2pl-ro":
-        overrides["expand_read_groups"] = True
-    if overrides:
-        config = config.replace(**overrides)
+    config = _variant_config(name, config)
     servers = {}
     if name == "s2pl":
         for site_id in shard_map.server_ids:
@@ -923,3 +928,32 @@ def make_sharded_protocol(name, sim, config, shard_map, stores, wals,
                                                 history, shard_map)
                    for client_id in client_ids}
     return servers, clients
+
+
+def make_lp_shard(name, sim, config, shard_map, shard, store, wal, history,
+                  client_ids):
+    """One shard's home server plus its co-located clients.
+
+    The LP-partitioned runner (:mod:`repro.core.lp`) builds each logical
+    process with exactly the sites the full factory would have given that
+    shard. A g-2PL shard gets a *private* :class:`SharedPrecedence`: with
+    a shard-local workload (``cross_shard_probability=0``) no transaction
+    ever registers at two shards, so the serial run's shared DAG is the
+    disjoint union of per-shard components and this private graph sees
+    precisely its own component — same nodes, same edges, same refcounts.
+    """
+    config = _variant_config(name, config)
+    site_id = shard_site_id(shard)
+    if name == "s2pl":
+        server = ShardedS2PLServer(sim, config, store, wal, history,
+                                   site_id, shard_map)
+        clients = {client_id: ShardedS2PLClient(sim, client_id, config,
+                                                history, shard_map)
+                   for client_id in client_ids}
+    else:
+        server = ShardedG2PLServer(sim, config, store, wal, history,
+                                   site_id, shard_map, SharedPrecedence())
+        clients = {client_id: ShardedG2PLClient(sim, client_id, config,
+                                                history, shard_map)
+                   for client_id in client_ids}
+    return server, clients

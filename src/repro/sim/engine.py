@@ -17,13 +17,47 @@ clock, the processed-events counter, and the engine trace hook exactly as
 the live no-op call used to, so diagnostics and traces stay bit-identical
 with pre-fast-path kernels; they are additionally counted in
 :attr:`Simulator.cancelled_events`.
+
+Batched delivery (``network/transport.py``) may hide several logical
+deliveries behind one heap entry that fans out on pop.  The engine's
+diagnostics stay *logical*: the transport keeps :attr:`Simulator._hidden`
+equal to the number of deliveries hidden behind batch heads still on the
+heap, so ``pending`` and the per-pop depth samples count deliveries, not
+batch nodes; the fan-out reports its extra deliveries and intra-batch
+depth samples through ``_extra_events`` / ``_batch_peak``, which the
+``processed_events`` / ``peak_heap_depth`` properties fold back in.  All
+counters therefore match an unbatched run exactly.
 """
 
+import gc
 import heapq
+from contextlib import contextmanager
 from itertools import count
 
 from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+@contextmanager
+def relaxed_gc(threshold=(500_000, 1_000, 1_000)):
+    """Raise the cyclic-GC thresholds for the duration of a run.
+
+    The kernel churns through short-lived container objects (heap entries,
+    envelopes, events) fast enough that CPython's default generation-0
+    trigger (700 net allocations) fires thousands of times per run, and
+    every full collection rescans the long-lived simulation graph.  The
+    garbage is overwhelmingly acyclic and dies to refcounting anyway;
+    collecting the genuine Event/Process cycles a few times per run
+    instead of thousands is worth 10-30% of wall time on the protocol
+    cells.  Thresholds are restored on exit; trajectories are unaffected
+    (the simulator is deterministic regardless of collector timing).
+    """
+    saved = gc.get_threshold()
+    gc.set_threshold(*threshold)
+    try:
+        yield
+    finally:
+        gc.set_threshold(*saved)
 
 
 class Simulator:
@@ -41,6 +75,13 @@ class Simulator:
         self._event_count = 0
         self._peak_heap = 0
         self._cancelled_count = 0
+        # Batched-delivery accounting (see module docstring): logical
+        # deliveries hidden behind batch heap entries, extra deliveries
+        # fanned out beyond the popped entry, and the deepest *logical*
+        # depth observed inside a fan-out.
+        self._hidden = 0
+        self._extra_events = 0
+        self._batch_peak = 0
         #: optional :class:`~repro.obs.tracer.Tracer`; every instrumented
         #: component reads it through its ``sim`` reference, so attaching
         #: one here turns tracing on for the whole stack.
@@ -53,19 +94,26 @@ class Simulator:
 
     @property
     def processed_events(self):
-        """Total number of heap entries processed so far (for diagnostics).
+        """Total number of *logical* events processed so far (diagnostics).
 
         Includes cancelled-timer entries: they are popped and skipped, but
         they occupied the heap and the dispatch loop all the same (and were
         processed as no-op calls before lazy deletion existed, so the
-        counter is comparable across kernel versions).
+        counter is comparable across kernel versions).  Deliveries fanned
+        out of a coalesced batch entry each count as one event, exactly as
+        their unbatched heap entries would have.
         """
-        return self._event_count
+        return self._event_count + self._extra_events
 
     @property
     def peak_heap_depth(self):
-        """Deepest the event heap has been while processing (diagnostics)."""
-        return self._peak_heap
+        """Deepest the *logical* event backlog has been while processing.
+
+        With batched delivery a heap node may stand for several pending
+        deliveries; the depth samples count those individually, so the
+        value is identical to an unbatched run's."""
+        return (self._peak_heap if self._peak_heap >= self._batch_peak
+                else self._batch_peak)
 
     @property
     def cancelled_events(self):
@@ -187,7 +235,7 @@ class Simulator:
                     when = heap[0][0]
                     if when > horizon:
                         break
-                    depth = len(heap)
+                    depth = len(heap) + self._hidden
                     if depth > peak:
                         peak = depth
                     entry = heappop(heap)
@@ -202,7 +250,7 @@ class Simulator:
                     when = heap[0][0]
                     if when > horizon:
                         break
-                    depth = len(heap)
+                    depth = len(heap) + self._hidden
                     if depth > peak:
                         peak = depth
                     entry = heappop(heap)
@@ -221,6 +269,47 @@ class Simulator:
             self._now = horizon
         return None
 
+    def run_window(self, horizon):
+        """Process every entry strictly before ``horizon``; leave the rest.
+
+        The conservative-synchronization primitive for LP-partitioned runs
+        (``repro.core.lp``): a logical process is granted a window
+        ``[now, horizon)`` during which no other partition can inject an
+        event, drains exactly that window, and reports back.  Unlike
+        :meth:`run`, entries *at* the horizon are not processed and the
+        clock is not advanced to the horizon — the next window's grant
+        depends on the true next-event time, which this method returns
+        (``inf`` when the heap drained).
+        """
+        heap = self._heap
+        hook = self._engine_hook()
+        heappop = heapq.heappop
+        events = self._event_count
+        peak = self._peak_heap
+        cancelled = self._cancelled_count
+        try:
+            while heap:
+                when = heap[0][0]
+                if when >= horizon:
+                    break
+                depth = len(heap) + self._hidden
+                if depth > peak:
+                    peak = depth
+                entry = heappop(heap)
+                self._now = when
+                events += 1
+                if hook is not None:
+                    hook(when, depth)
+                if len(entry) == 5 and entry[4][0]:
+                    cancelled += 1
+                    continue
+                entry[2](*entry[3])
+        finally:
+            self._event_count = events
+            self._peak_heap = peak
+            self._cancelled_count = cancelled
+        return heap[0][0] if heap else float("inf")
+
     def _run_until_event(self, event):
         done = []
         event.add_callback(done.append)
@@ -232,7 +321,7 @@ class Simulator:
         cancelled = self._cancelled_count
         try:
             while heap and not done:
-                depth = len(heap)
+                depth = len(heap) + self._hidden
                 if depth > peak:
                     peak = depth
                 entry = heappop(heap)
@@ -260,7 +349,7 @@ class Simulator:
         """Process a single heap entry; returns False if the heap is empty."""
         if not self._heap:
             return False
-        depth = len(self._heap)
+        depth = len(self._heap) + self._hidden
         if depth > self._peak_heap:
             self._peak_heap = depth
         entry = heapq.heappop(self._heap)
@@ -274,8 +363,9 @@ class Simulator:
 
     @property
     def pending(self):
-        """Number of entries currently on the heap."""
-        return len(self._heap)
+        """Number of logical events currently pending (batch entries count
+        once per delivery they will fan out)."""
+        return len(self._heap) + self._hidden
 
     def peek(self):
         """Timestamp of the next heap entry, or ``inf`` when drained."""

@@ -1,0 +1,139 @@
+"""Batched delivery must be invisible: bit-identical trajectories.
+
+Batched delivery (``config.batch_delivery``, on by default) coalesces
+same-timestamp deliveries on one link into a single heap entry that
+fans out on pop.  That is a pure scheduling-representation change: the
+fan-out replays the exact per-message heap order, so every protocol
+family must produce byte-for-byte the same result fingerprint with
+batching on or off — serially and under the spawn pool, traced and
+faulted included.  These tests pin that invariant, plus the logical
+engine counters (``processed_events`` / ``peak_heap_depth`` /
+``cancelled_events`` / ``pending``) that must count deliveries, not
+batch nodes.
+"""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.parallel import SimulationCell, run_cells
+from repro.core.runner import run_simulation
+from repro.perf.fingerprint import fingerprint_digest, result_fingerprint
+
+#: one representative per protocol family (g2pl variants share a family)
+FAMILIES = ("s2pl", "g2pl", "g2pl-basic", "g2pl-ro", "c2pl", "2v2pl")
+
+_FAULTS = "loss=0.05,dup=0.02,jitter=20,crash=2@2000:4000"
+
+
+def _base(protocol, **overrides):
+    kwargs = dict(
+        protocol=protocol, n_clients=6, n_items=8, read_probability=0.6,
+        network_latency=100.0, total_transactions=120,
+        warmup_transactions=20, record_history=False)
+    kwargs.update(overrides)
+    return kwargs
+
+
+def _digest_pair(kwargs, seed):
+    batched = run_simulation(
+        SimulationConfig(**kwargs, batch_delivery=True), seed=seed)
+    unbatched = run_simulation(
+        SimulationConfig(**kwargs, batch_delivery=False), seed=seed)
+    return batched, unbatched
+
+
+def _assert_identical(batched, unbatched):
+    fp_b = result_fingerprint(batched)
+    fp_u = result_fingerprint(unbatched)
+    assert fp_b == fp_u, "batched delivery changed the trajectory"
+    assert fingerprint_digest(fp_b) == fingerprint_digest(fp_u)
+
+
+class TestSerialIdentity:
+    @pytest.mark.parametrize("protocol", FAMILIES)
+    def test_family_is_batch_invariant(self, protocol):
+        batched, unbatched = _digest_pair(_base(protocol), seed=11)
+        _assert_identical(batched, unbatched)
+
+    def test_faulted_run_is_batch_invariant(self):
+        # the faulted send path never batches, but the flag must still
+        # round-trip to an identical result
+        batched, unbatched = _digest_pair(
+            _base("g2pl", n_clients=5, n_items=6, faults=_FAULTS,
+                  total_transactions=100, warmup_transactions=15), seed=7)
+        _assert_identical(batched, unbatched)
+
+    def test_traced_run_is_batch_invariant(self):
+        batched, unbatched = _digest_pair(
+            _base("s2pl", trace=True, probe_interval=150.0), seed=11)
+        _assert_identical(batched, unbatched)
+
+    def test_sharded_run_is_batch_invariant(self):
+        batched, unbatched = _digest_pair(
+            _base("g2pl", n_shards=4, n_regions=2,
+                  cross_shard_probability=0.5,
+                  intra_region_latency=1.0), seed=11)
+        _assert_identical(batched, unbatched)
+
+
+class TestPooledIdentity:
+    def test_all_families_batch_invariant_at_jobs_4(self):
+        seeds = {name: 11 for name in FAMILIES}
+        cells = []
+        for flag in (True, False):
+            for name in FAMILIES:
+                cells.append(SimulationCell(
+                    config=SimulationConfig(**_base(name),
+                                            batch_delivery=flag),
+                    seed=seeds[name]))
+        results = run_cells(cells, jobs=4)
+        half = len(FAMILIES)
+        for name, batched, unbatched in zip(
+                FAMILIES, results[:half], results[half:]):
+            fp_b = result_fingerprint(batched)
+            fp_u = result_fingerprint(unbatched)
+            assert fp_b == fp_u, (
+                f"{name}: pooled batched run diverged from unbatched")
+
+
+class TestLogicalEngineStats:
+    """Satellite: the engine counters must see through batch nodes."""
+
+    def test_engine_stats_count_logical_deliveries(self):
+        # High fan-in on one link (many clients, one server, uniform
+        # latency) so batching actually coalesces; the logical counters
+        # must nevertheless match the unbatched run exactly.
+        kwargs = _base("g2pl", n_clients=12, n_items=8)
+        batched, unbatched = _digest_pair(kwargs, seed=23)
+        for key in ("processed_events", "peak_heap_depth",
+                    "cancelled_events"):
+            assert batched.engine_stats[key] == unbatched.engine_stats[key], (
+                f"engine stat {key} counts batch nodes, not deliveries")
+
+    def test_pending_and_fanout_are_logical(self):
+        from repro.network.topology import UniformTopology
+        from repro.network.transport import Network
+        from repro.protocols.base import _Dispatcher
+        from repro.sim.engine import Simulator
+
+        received = []
+
+        class Sink(_Dispatcher):
+            def on_int(self, payload):
+                received.append(payload)
+
+        sim = Simulator()
+        network = Network(sim, UniformTopology(10.0))
+        network.add_site(Sink(1))
+        network.add_site(Sink(2))
+        for payload in range(5):
+            network.send(1, 2, payload)
+        # five same-timestamp sends on one link coalesce into one heap
+        # node, but the logical view must still say five deliveries
+        assert len(sim._heap) == 1
+        assert sim.pending == 5
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]
+        assert sim.processed_events == 5
+        assert sim.peak_heap_depth == 5
+        assert sim.pending == 0
