@@ -1,0 +1,28 @@
+"""repro.adapt — online controllers that turn the static protocol family
+into a self-tuning one.
+
+Three cooperating controllers, all consumed by
+:mod:`repro.protocols.adaptive`:
+
+- :class:`~repro.adapt.controller.WindowController` — adaptive
+  collection-window sizing (bounded feedback loop on window depth).
+- :class:`~repro.adapt.controller.ContentionController` — streaming
+  contention score with hysteresis, driving per-item switching between
+  s-2PL-like immediate service and g-2PL grouped service.
+- :class:`~repro.adapt.controller.SpeculationController` — the
+  synchronized-clock quiescence bound behind speculative dispatch.
+"""
+
+from repro.adapt.controller import (
+    ContentionController,
+    EwmaEstimator,
+    SpeculationController,
+    WindowController,
+)
+
+__all__ = [
+    "ContentionController",
+    "EwmaEstimator",
+    "SpeculationController",
+    "WindowController",
+]

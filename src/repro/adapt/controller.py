@@ -1,0 +1,193 @@
+"""The adaptive-concurrency-control controllers.
+
+Everything here is pure arithmetic over streamed observations — no
+simulator handles, no message types — so the controllers are unit-testable
+in isolation and reusable by both the simulated and live protocol stacks.
+The only nondeterminism is an optional injected RNG (the dedicated
+``adapt.controller`` stream) used to dither window holds; protocols that
+never hold never draw from it, which is what keeps the static goldens
+byte-identical.
+"""
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average with a "no sample yet" state.
+
+    ``alpha`` is the weight of the newest sample: ``1.0`` tracks the last
+    sample exactly, small values average over roughly ``1/alpha`` samples.
+    """
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value = None
+        self.samples = 0
+
+    def observe(self, sample):
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (float(sample) - self.value)
+        self.samples += 1
+        return self.value
+
+
+class WindowController:
+    """Adaptive collection-window sizing for one item.
+
+    Plain g-2PL only batches while the item is away: the instant it comes
+    home, whatever collected is frozen and dispatched, so an idle item
+    serves singleton chains forever even under steady load. This
+    controller can *hold* a home item's window open for ``h`` time units
+    before freezing, trading a bounded first-request delay for longer
+    forward lists (fewer grant/return rounds per transaction).
+
+    ``h`` follows a bounded integral feedback law on observed freeze
+    depth::
+
+        h <- clamp(h + gain * (target_depth - depth) * unit,
+                   min_hold, max_hold)
+
+    where ``unit`` is one-eighth of the network latency (the natural
+    quantum: a hold is only useful if it spans a nontrivial fraction of a
+    round trip). Depth below target lengthens the hold, depth above
+    target shortens it; the clamp keeps the loop stable under any gain.
+
+    Holding is gated on the inter-arrival EWMA: if requests for the item
+    arrive slower than ``max_hold`` apart, holding cannot collect a
+    second request and only adds latency, so the controller declines.
+    """
+
+    __slots__ = ("gain", "target_depth", "min_hold", "max_hold",
+                 "unit", "hold", "interarrival", "last_arrival", "holds")
+
+    #: Hold dither fraction: each armed hold is stretched/shrunk by up to
+    #: this much, drawn from the dedicated RNG stream, so synchronized
+    #: client populations do not phase-lock onto the hold timer.
+    JITTER = 0.05
+
+    def __init__(self, gain, target_depth, min_hold, max_hold, latency,
+                 ewma_alpha=0.3):
+        self.gain = gain
+        self.target_depth = target_depth
+        self.min_hold = min_hold
+        self.max_hold = max_hold
+        self.unit = latency / 8.0
+        self.hold = min(max(latency / 2.0, min_hold), max_hold)
+        self.interarrival = EwmaEstimator(ewma_alpha)
+        self.last_arrival = None
+        self.holds = 0
+
+    def observe_arrival(self, now):
+        """A request for this item arrived at simulated time ``now``."""
+        if self.last_arrival is not None:
+            self.interarrival.observe(now - self.last_arrival)
+        self.last_arrival = now
+
+    def observe_freeze(self, depth):
+        """A window froze at ``depth`` requests: run the feedback law."""
+        delta = self.gain * (self.target_depth - depth) * self.unit
+        self.hold = min(max(self.hold + delta, self.min_hold), self.max_hold)
+
+    def hold_time(self, rng=None):
+        """Hold duration for the window about to open, or 0.0 to dispatch
+        immediately (hold would not pay for itself)."""
+        if self.hold <= 0.0:
+            return 0.0
+        tau = self.interarrival.value
+        if tau is None or tau > self.max_hold:
+            # Unknown or sparse arrivals: a hold cannot collect a second
+            # request before it expires, so it is pure added latency.
+            return 0.0
+        hold = self.hold
+        if rng is not None:
+            hold *= 1.0 + self.JITTER * (2.0 * rng.random() - 1.0)
+        self.holds += 1
+        return hold
+
+
+class ContentionController:
+    """Streaming contention score with hysteresis for one item.
+
+    The raw signal is the window depth at each freeze — how many requests
+    piled up while the item was away, i.e. the item's wait-for degree.
+    Its EWMA ``d`` is squashed to a score in [0, 1)::
+
+        score = d / (d + scale)
+
+    ``scale`` is the depth at which the score reads 0.5. The mode is a
+    hysteresis loop over the score:
+
+    - score < ``low``  -> ``"single"``: s-2PL-equivalent service — one
+      grant unit (one writer or one shared read group) per chain, reads
+      graft onto writer-free chains exactly as a shared lock would grant,
+      releases come home each round.
+    - score > ``high`` -> ``"grouped"``: full g-2PL windows — batch the
+      backlog into one forward list and pay one grant round for all of it.
+
+    Between the thresholds the item keeps its current mode, so modes
+    cannot flap on boundary noise. Each switch bumps the item's mode
+    epoch; the switch takes effect at the *next* freeze, which is what
+    makes transitions drain-safe (an in-flight chain is never reshaped).
+    """
+
+    __slots__ = ("low", "high", "scale", "depth", "mode", "epoch",
+                 "switches")
+
+    def __init__(self, low, high, ewma_alpha=0.3, scale=3.0,
+                 initial_mode="grouped"):
+        self.low = low
+        self.high = high
+        self.scale = scale
+        self.depth = EwmaEstimator(ewma_alpha)
+        self.mode = initial_mode
+        self.epoch = 0
+        self.switches = 0
+
+    def score(self):
+        d = self.depth.value
+        if d is None:
+            return 0.0
+        return d / (d + self.scale)
+
+    def observe(self, depth):
+        self.depth.observe(depth)
+
+    def decide(self):
+        """Re-evaluate the mode; returns the new mode if it switched,
+        else ``None``."""
+        score = self.score()
+        if self.mode == "grouped" and score < self.low:
+            self.mode = "single"
+        elif self.mode == "single" and score > self.high:
+            self.mode = "grouped"
+        else:
+            return None
+        self.epoch += 1
+        self.switches += 1
+        return self.mode
+
+
+class SpeculationController:
+    """The synchronized-clock quiescence bound for speculative dispatch.
+
+    With synchronized clocks and a known one-way latency bound ``L``, a
+    server that has seen no new request for an away item for
+    ``margin * L`` knows every request sent before its newest window
+    entry has already arrived (Tiga-style): the window's contents are
+    final *as of the chain tail's release point*, so the window can be
+    pre-frozen and shipped to the tail as a chain extension before the
+    item formally returns. ``margin >= 1`` is exact under the bound;
+    larger margins trade speculation rate for tolerance of bound slack.
+    """
+
+    __slots__ = ("bound", "extensions", "hits", "misses")
+
+    def __init__(self, margin, latency):
+        self.bound = margin * latency
+        self.extensions = 0
+        self.hits = 0
+        self.misses = 0

@@ -110,6 +110,44 @@ def _add_workload_args(parser):
         "--probe-interval", type=float, default=None, metavar="T",
         help="sample time-series gauges (queue depths, in-flight "
              "messages, heap depth) every T sim-time units")
+    adapt = parser.add_argument_group(
+        "adaptive concurrency control (repro.adapt; protocols "
+        "g2pl-adaptive / hybrid / g2pl-spec)")
+    adapt.add_argument(
+        "--adapt-window", action="store_true",
+        help="tune the g-2PL collection window online (feedback loop on "
+             "freeze depth; implied by --protocol g2pl-adaptive)")
+    adapt.add_argument(
+        "--hybrid", action="store_true",
+        help="switch each item between s-2PL-equivalent and grouped "
+             "service on a streaming contention score (implied by "
+             "--protocol hybrid)")
+    adapt.add_argument(
+        "--speculate", action="store_true",
+        help="clock-assisted speculative dispatch: pre-freeze and ship "
+             "the next window once the quiescence bound proves it final "
+             "(implied by --protocol g2pl-spec)")
+    adapt.add_argument("--window-gain", type=float, default=0.5,
+                       help="window controller integral gain")
+    adapt.add_argument("--window-target", type=float, default=3.0,
+                       metavar="DEPTH", help="window depth setpoint")
+    adapt.add_argument("--window-min", type=float, default=0.0,
+                       metavar="XLAT",
+                       help="min hold, in multiples of --latency")
+    adapt.add_argument("--window-max", type=float, default=2.0,
+                       metavar="XLAT",
+                       help="max hold, in multiples of --latency")
+    adapt.add_argument("--hybrid-low", type=float, default=0.3,
+                       help="switch to single mode below this score")
+    adapt.add_argument("--hybrid-high", type=float, default=0.5,
+                       help="switch to grouped mode above this score")
+    adapt.add_argument("--hybrid-scale", type=float, default=3.0,
+                       help="freeze depth at which the score reads 0.5")
+    adapt.add_argument("--adapt-ewma", type=float, default=0.3,
+                       help="EWMA weight for the adapt estimators")
+    adapt.add_argument("--spec-margin", type=float, default=1.5,
+                       metavar="XLAT",
+                       help="quiescence bound, in multiples of --latency")
 
 
 def _jobs_type(value):
@@ -163,6 +201,18 @@ def _config_from(args, protocol):
         batch_delivery=not getattr(args, "no_batch_delivery", False),
         trace=getattr(args, "trace", False),
         probe_interval=getattr(args, "probe_interval", None),
+        adapt_window=getattr(args, "adapt_window", False),
+        hybrid=getattr(args, "hybrid", False),
+        speculate=getattr(args, "speculate", False),
+        window_gain=getattr(args, "window_gain", 0.5),
+        window_target_depth=getattr(args, "window_target", 3.0),
+        window_min=getattr(args, "window_min", 0.0),
+        window_max=getattr(args, "window_max", 2.0),
+        hybrid_low=getattr(args, "hybrid_low", 0.3),
+        hybrid_high=getattr(args, "hybrid_high", 0.5),
+        hybrid_scale=getattr(args, "hybrid_scale", 3.0),
+        adapt_ewma=getattr(args, "adapt_ewma", 0.3),
+        spec_margin=getattr(args, "spec_margin", 1.5),
         record_history=False)
 
 
@@ -392,6 +442,18 @@ def _cmd_figure(args):
             show(row.response)
             print()
         print(describe_shard_grid(regimes))
+    elif number == "adaptive":
+        from repro.analysis.adaptive import (
+            adaptive_crossover_sweep,
+            describe_adaptive,
+        )
+
+        regime = adaptive_crossover_sweep(fidelity=args.fidelity, jobs=jobs)
+        show(regime.response, improvement=None)
+        print()
+        show(regime.aborts, improvement=None)
+        print()
+        print(describe_adaptive(regime))
     elif number == "decompose":
         # Sim-vs-live per-phase divergence for both calibration
         # scenarios: the attributed version of PR 5's raw response gap.
@@ -406,7 +468,8 @@ def _cmd_figure(args):
             print()
     else:
         print(f"unknown figure {number!r}; choose 1-15, loss, "
-              f"loss-aborts, scale, decompose, or shard-crossover",
+              f"loss-aborts, scale, decompose, shard-crossover, "
+              f"or adaptive",
               file=sys.stderr)
         return 2
     return 0
@@ -497,7 +560,9 @@ def _cmd_list(_args):
           "shard-crossover (shard count x inter-region latency "
           "dominance grid), "
           "decompose (sim-vs-live per-phase latency divergence for "
-          "both calibration scenarios)")
+          "both calibration scenarios), "
+          "adaptive (hybrid-vs-static contention sweep with the "
+          "repro.adapt acceptance gate)")
     print("fidelities:", ", ".join(f.label for f in Fidelity))
     return 0
 
@@ -565,7 +630,9 @@ def build_parser():
     figure_parser = sub.add_parser("figure",
                                    help="regenerate a paper figure")
     figure_parser.add_argument("number",
-                               help="figure number 1-15, or loss / loss-aborts")
+                               help="figure number 1-15, or loss / "
+                                    "loss-aborts / scale / decompose / "
+                                    "shard-crossover / adaptive")
     figure_parser.add_argument("--fidelity", default="bench",
                                choices=[f.label for f in Fidelity])
     _add_jobs_arg(figure_parser)

@@ -25,6 +25,12 @@ class Fidelity(enum.Enum):
         self.replications = replications
 
 
+#: Protocol names whose client/server pair reads the adapt_* flags
+#: (see repro.protocols.adaptive). Kept here so config validation and
+#: the runner need not import the protocol registry.
+ADAPTIVE_PROTOCOLS = frozenset({"g2pl-adaptive", "hybrid", "g2pl-spec"})
+
+
 @dataclass
 class SimulationConfig:
     """All parameters of one simulation run (Table 1 defaults).
@@ -149,6 +155,30 @@ class SimulationConfig:
     # termination, and a shard-local workload (cross_shard_probability=0)
     lp: bool = False
 
+    # adaptive concurrency control (repro.adapt): the three controllers
+    # behind the g2pl-adaptive / hybrid / g2pl-spec registry entries.
+    # Off by default so every static protocol's trajectory is untouched.
+    adapt_window: bool = False   # online collection-window sizing
+    hybrid: bool = False         # per-item single/grouped mode switching
+    speculate: bool = False      # clock-assisted speculative dispatch
+    # window controller: integral gain, depth setpoint, and hold bounds
+    # (bounds in multiples of network_latency)
+    window_gain: float = 0.5
+    window_target_depth: float = 3.0
+    window_min: float = 0.0
+    window_max: float = 2.0
+    # contention controller: hysteresis thresholds on the [0, 1) score,
+    # and the EWMA depth at which the score reads 0.5. A freeze depth of
+    # 1 scores 0.25 at the default scale, so low=0.3 ~= "windows are
+    # mostly singletons", high=0.5 ~= "three-deep backlogs".
+    hybrid_low: float = 0.3
+    hybrid_high: float = 0.5
+    hybrid_scale: float = 3.0
+    # smoothing weight shared by the adapt estimators
+    adapt_ewma: float = 0.3
+    # speculation: quiescence bound in multiples of network_latency
+    spec_margin: float = 1.5
+
     # observability (repro.obs): structured tracing and time-series probes.
     # Tracing never perturbs results — metrics are bit-identical either way.
     trace: bool = False
@@ -241,6 +271,52 @@ class SimulationConfig:
             raise ValueError(
                 "lp=True partitions the run along shard boundaries; "
                 "it needs n_shards > 1")
+        if self.window_gain <= 0:
+            raise ValueError("window_gain must be positive")
+        if self.window_target_depth <= 0:
+            raise ValueError("window_target_depth must be positive")
+        if not 0.0 <= self.window_min <= self.window_max:
+            raise ValueError(
+                f"window bounds must satisfy 0 <= window_min <= window_max "
+                f"(got {self.window_min:g}..{self.window_max:g})")
+        if not 0.0 <= self.hybrid_low <= self.hybrid_high <= 1.0:
+            raise ValueError(
+                f"hybrid thresholds must satisfy 0 <= low <= high <= 1 "
+                f"(got {self.hybrid_low:g}..{self.hybrid_high:g})")
+        if self.hybrid_scale <= 0:
+            raise ValueError("hybrid_scale must be positive")
+        if not 0.0 < self.adapt_ewma <= 1.0:
+            raise ValueError("adapt_ewma must be in (0, 1]")
+        if self.spec_margin <= 0:
+            raise ValueError("spec_margin must be positive")
+        adaptive = self.protocol in ADAPTIVE_PROTOCOLS
+        if (self.adapt_window or self.hybrid or self.speculate) \
+                and not adaptive:
+            raise ValueError(
+                "adapt_window/hybrid/speculate need an adaptive protocol "
+                f"({', '.join(sorted(ADAPTIVE_PROTOCOLS))}); "
+                f"got protocol={self.protocol!r}")
+        if adaptive:
+            if self.lp and (self.hybrid or self.protocol == "hybrid"):
+                raise ValueError(
+                    "lp=True is unsupported with hybrid mode switching: "
+                    "the LP partitioner replays shard-local trajectories, "
+                    "but per-item mode epochs are driven by a shared "
+                    "contention stream the partition would have to merge. "
+                    "Run the hybrid protocol with lp=False")
+            if self.n_shards != 1:
+                raise ValueError(
+                    "adaptive protocols are single-server for now "
+                    f"(protocol={self.protocol!r} with "
+                    f"n_shards={self.n_shards})")
+            if self.speculate and self.faults is not None:
+                raise ValueError(
+                    "speculative dispatch is incompatible with fault "
+                    "injection: a crash mid-extension would need the "
+                    "chain-repair watchdog to reason about pre-frozen "
+                    "windows it has never seen. Disable speculate (or "
+                    "drop the fault spec) — crash faults with g2pl use "
+                    "the chain-repair path instead")
         if self.streaming_threshold < 0:
             raise ValueError("streaming_threshold must be >= 0")
         if self.reservoir_capacity < 2:
@@ -293,7 +369,20 @@ class SimulationConfig:
         if self.population is not None:
             popn = (f" population={self.population} arrival={self.arrival}"
                     f"@{self.arrival_rate:g}/user zipf={self.access_skew:g}")
+        adapt = ""
+        if self.adapt_window or self.hybrid or self.speculate:
+            knobs = []
+            if self.adapt_window:
+                knobs.append(f"window(gain={self.window_gain:g} "
+                             f"target={self.window_target_depth:g} "
+                             f"hold={self.window_min:g}..{self.window_max:g})")
+            if self.hybrid:
+                knobs.append(f"hybrid({self.hybrid_low:g}"
+                             f"..{self.hybrid_high:g})")
+            if self.speculate:
+                knobs.append(f"spec(margin={self.spec_margin:g})")
+            adapt = " adapt=" + "+".join(knobs)
         return (f"{self.protocol} clients={self.n_clients} "
                 f"items={self.n_items} pr={self.read_probability:g} "
                 f"latency={self.network_latency:g} "
-                f"txns={self.total_transactions}{sharding}{popn}")
+                f"txns={self.total_transactions}{sharding}{popn}{adapt}")

@@ -229,6 +229,10 @@ def run_simulation(config, seed=None, check_serializability=None):
         server_list = [server]
     for site in server_list:
         network.add_site(site)
+        if hasattr(site, "attach_adapt_rng"):
+            # Dedicated stream: only adaptive servers ever draw from it,
+            # so every static protocol's trajectory is untouched.
+            site.attach_adapt_rng(streams.stream("adapt.controller"))
     for client in clients.values():
         network.add_site(client)
 
@@ -348,6 +352,13 @@ def run_simulation(config, seed=None, check_serializability=None):
                       for length in getattr(s, "fl_lengths", ())]
         server_stats["mean_fl_length"] = (
             sum(fl_lengths) / len(fl_lengths) if fl_lengths else 0.0)
+    if any(hasattr(s, "adapt_stats") for s in server_list):
+        merged = {}
+        for s in server_list:
+            if hasattr(s, "adapt_stats"):
+                for key, value in s.adapt_stats().items():
+                    merged[key] = merged.get(key, 0) + value
+        server_stats.update(merged)
     if shard_map is not None:
         twopc_commits = set()
         twopc_aborts = set()

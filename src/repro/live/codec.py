@@ -47,6 +47,8 @@ from repro.protocols.messages import (
     ReaderRelease,
     ReleaseWaiver,
     ReturnToServer,
+    SpecAck,
+    SpecExtend,
     TxnDone,
 )
 
@@ -86,6 +88,8 @@ MESSAGE_TYPES = (
     DecisionAck,
     OutcomeQuery,
     OutcomeReply,
+    SpecExtend,
+    SpecAck,
 )
 
 _MSG_INDEX = {cls: index for index, cls in enumerate(MESSAGE_TYPES)}

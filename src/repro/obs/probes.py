@@ -64,6 +64,22 @@ def default_sources(sim, network, server, tracer, drivers=None):
     if with_fl:
         sources.append(("fl_occupancy",
                         lambda: sum(s.fl_occupancy() for s in with_fl)))
+    adaptive = [s for s in servers if hasattr(s, "window_depth")]
+    if adaptive:
+        # Adaptive controllers (repro.adapt): the window-occupancy signal
+        # the window controller feeds on, plus live controller state.
+        # Gated on the adaptive server type so static-protocol probe
+        # traces (and their goldens) are unchanged.
+        sources.append(("window_occupancy",
+                        lambda: sum(s.window_depth() for s in adaptive)))
+        sources.append(("adapt_hold_pending",
+                        lambda: sum(s.hold_pending() for s in adaptive)))
+        sources.append(("hybrid_single_items",
+                        lambda: sum(s.single_mode_items()
+                                    for s in adaptive)))
+        sources.append(("spec_outstanding",
+                        lambda: sum(s.spec_outstanding()
+                                    for s in adaptive)))
     popn = [d for d in (drivers or []) if hasattr(d, "state")]
     if popn:
         sources.append(("popn_inflight",

@@ -21,6 +21,11 @@ Runs a fixed set of cells spanning the layers the fast path touches:
   10⁵ logical users (10⁴ in quick mode) with Zipf skew and streaming
   metrics: exercises arrival sampling, user multiplexing, admission
   control, and the bounded-memory metrics path.
+* ``hybrid_contention`` / ``g2pl_speculative`` — the repro.adapt
+  protocol family: the contention-adaptive hybrid on the static pair's
+  workload (controller overhead shows up against ``g2pl_contention``)
+  and speculative dispatch on a sparse-arrival cell where the
+  quiescence timers actually fire.
 * ``sharded_serial`` / ``sharded_lp`` — the same shard-closed g-2PL
   cell run serially and partitioned into one logical process per shard
   (``lp=True``, :mod:`repro.core.lp`).  Identical config and seed, so
@@ -222,6 +227,29 @@ def _population_100k(quick):
         warmup_transactions=60 if quick else 200))
 
 
+def _hybrid_contention(quick):
+    """The contention-adaptive hybrid on the g2pl_contention workload.
+
+    Same 40-clients-on-12-items cell as the static pair, so the marginal
+    cost of the contention controller (per-freeze EWMA update + mode
+    decision) shows up directly against ``g2pl_contention``.
+    """
+    return _run_macro(_macro_config("hybrid", quick))
+
+
+def _g2pl_speculative(quick):
+    """Clock-assisted speculative dispatch on a sparse-arrival workload.
+
+    Low client count and long latency leave quiescence gaps, so the
+    speculation timer actually fires: the cell exercises the quiescence
+    timers, pre-freeze window extension, SpecExtend/SpecAck traffic, and
+    the mis-speculation repair path.
+    """
+    return _run_macro(_macro_config(
+        "g2pl-spec", quick, n_clients=8, n_items=6,
+        network_latency=500.0))
+
+
 def _sharded_config(quick, lp):
     """The LP scaling pair: one shard-closed run, serial vs partitioned.
 
@@ -275,6 +303,14 @@ def bench_cells():
                   "open-arrival population (10^5 users full, 10^4 quick), "
                   "Zipf 0.5, streaming metrics",
                   _population_100k),
+        BenchCell("hybrid_contention", "macro",
+                  "contention-adaptive hybrid on the g2pl_contention "
+                  "workload (controller overhead probe)",
+                  _hybrid_contention),
+        BenchCell("g2pl_speculative", "macro",
+                  "g-2PL with clock-assisted speculative dispatch, "
+                  "8 clients on 6 items, latency 500",
+                  _g2pl_speculative),
         BenchCell("sharded_serial", "macro",
                   "shard-closed g-2PL, 40 clients on 4 shards, serial",
                   _sharded_serial),

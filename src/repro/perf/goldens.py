@@ -85,6 +85,24 @@ GOLDEN_CELLS = {
         network_latency=100.0, intra_region_latency=1.0,
         total_transactions=160, warmup_transactions=20,
         termination="quota", record_history=False), 11),
+    # Adaptive cells (repro.adapt): the window controller's hold jitter
+    # draws from the dedicated "adapt.controller" stream, so these pin
+    # that stream's isolation as well as the controllers' decisions.
+    "g2pl_adaptive_plain": (dict(
+        protocol="g2pl-adaptive", n_clients=6, n_items=8,
+        read_probability=0.6, network_latency=100.0,
+        total_transactions=120, warmup_transactions=20,
+        record_history=False), 11),
+    "hybrid_traced": (dict(
+        protocol="hybrid", n_clients=6, n_items=8, read_probability=0.6,
+        network_latency=100.0, total_transactions=120,
+        warmup_transactions=20, trace=True, probe_interval=150.0,
+        record_history=False), 11),
+    "g2pl_spec_traced": (dict(
+        protocol="g2pl-spec", n_clients=4, n_items=5,
+        read_probability=0.6, network_latency=400.0,
+        total_transactions=100, warmup_transactions=15, trace=True,
+        record_history=False), 7),
 }
 
 

@@ -209,6 +209,12 @@ class G2PLServer(ProtocolServer):
         self.fl_lengths = []        # txn count per dispatched FL
         self.avoidance_aborts = 0
         self.grafted_reads = 0
+        # Window accounting: every request that enters a collection window
+        # must leave it by exactly one of two doors — frozen into an FL or
+        # purged by an abort. assert_invariants checks the ledger balances.
+        self.window_enqueued = 0
+        self.window_frozen = 0
+        self.window_purged = 0
         # fault injection
         self._committed = set()     # txns whose ChainCommit is registered
         self._injector = None
@@ -250,7 +256,7 @@ class G2PLServer(ProtocolServer):
             self._abort(txn_id, reason="precedence-cycle")
             return
 
-        if (self.config.expand_read_groups
+        if (self._graft_allowed(info)
                 and not info.at_server
                 and msg.mode is LockMode.READ
                 and not info.chain_has_writer
@@ -265,6 +271,7 @@ class G2PLServer(ProtocolServer):
             add_edge(chain_txn, txn_id)
         info.window.append(
             _WindowRequest(ref=ref, mode=msg.mode, arrival=self.sim.now))
+        self.window_enqueued += 1
         if tracer is not None:
             tracer.emit("fl.collect", txn=txn_id, item=msg.item_id,
                         window=len(info.window))
@@ -537,8 +544,9 @@ class G2PLServer(ProtocolServer):
         # actually mention the victim — almost none do.
         for info in self._items.values():
             if any(w.ref.txn_id == txn_id for w in info.window):
-                info.window = [w for w in info.window
-                               if w.ref.txn_id != txn_id]
+                kept = [w for w in info.window if w.ref.txn_id != txn_id]
+                self.window_purged += len(info.window) - len(kept)
+                info.window = kept
         self._retire(txn_id)
         if reason == "client-crash":
             return  # nobody home to notify; chain repair moves the data
@@ -550,6 +558,12 @@ class G2PLServer(ProtocolServer):
             # Abort-resolution wire: the victim cannot make progress until
             # the notice arrives (see the s-2PL counterpart).
             tracer.wire_charge(txn_id, env, phase="abort")
+
+    def _graft_allowed(self, info):
+        """May readers graft onto this item's in-flight chain?  Base g-2PL
+        answers from configuration alone; adaptive subclasses answer
+        per item (hybrid single mode grafts, pending speculation never)."""
+        return self.config.expand_read_groups
 
     def _try_graft_reader(self, info, ref):
         """Read-only optimization: join a writer-free in-flight chain."""
@@ -594,6 +608,15 @@ class G2PLServer(ProtocolServer):
             return lambda txn: (mode[txn] is not LockMode.READ, arrival[txn])
         return lambda txn: (mode[txn] is not LockMode.WRITE, arrival[txn])
 
+    def _select_window(self, info, order):
+        """Split the linear extension into the txns frozen into this FL and
+        the leftovers carried to the next window. Base g-2PL cuts at the
+        configured forward-list cap; adaptive subclasses cut per item."""
+        cap = self.config.max_forward_list_length
+        if cap is None:
+            return order, []
+        return order[:cap], order[cap:]
+
     def _maybe_dispatch(self, info):
         if not info.at_server or not info.window:
             return
@@ -606,11 +629,10 @@ class G2PLServer(ProtocolServer):
                 [w.ref.txn_id for w in window],
                 key=self._ordering_key(window))
         by_txn = {w.ref.txn_id: w for w in window}
-        cap = self.config.max_forward_list_length
-        selected_ids = order if cap is None else order[:cap]
-        leftover_ids = [] if cap is None else order[len(selected_ids):]
+        selected_ids, leftover_ids = self._select_window(info, order)
 
         selected = [by_txn[txn_id] for txn_id in selected_ids]
+        self.window_frozen += len(selected)
         info.window = sorted((by_txn[txn_id] for txn_id in leftover_ids),
                              key=lambda w: w.arrival)
 
@@ -696,6 +718,14 @@ class G2PLServer(ProtocolServer):
             if info.at_server and info.chain_live:
                 raise AssertionError(
                     f"item {item_id} is home but has live chain members")
+        pending = sum(len(info.window) for info in self._items.values())
+        if self.window_enqueued != (
+                self.window_frozen + self.window_purged + pending):
+            raise AssertionError(
+                "window accounting leak: "
+                f"enqueued={self.window_enqueued} != "
+                f"frozen={self.window_frozen} + purged={self.window_purged}"
+                f" + pending={pending}")
 
 
 # ---------------------------------------------------------------------------

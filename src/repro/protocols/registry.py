@@ -25,6 +25,24 @@ def _g2pl_ro():
     return G2PLServer, G2PLClient, {"expand_read_groups": True}
 
 
+def _g2pl_adaptive():
+    from repro.protocols.adaptive import AdaptiveG2PLClient, AdaptiveG2PLServer
+
+    return AdaptiveG2PLServer, AdaptiveG2PLClient, {"adapt_window": True}
+
+
+def _hybrid():
+    from repro.protocols.adaptive import AdaptiveG2PLClient, AdaptiveG2PLServer
+
+    return AdaptiveG2PLServer, AdaptiveG2PLClient, {"hybrid": True}
+
+
+def _g2pl_spec():
+    from repro.protocols.adaptive import AdaptiveG2PLClient, AdaptiveG2PLServer
+
+    return AdaptiveG2PLServer, AdaptiveG2PLClient, {"speculate": True}
+
+
 def _c2pl():
     from repro.protocols.c2pl import C2PLClient, C2PLServer
 
@@ -42,6 +60,9 @@ _REGISTRY = {
     "g2pl": _g2pl,           # lock grouping + avoidance + MR1W (the paper's g-2PL)
     "g2pl-basic": _g2pl_basic,  # lock grouping + avoidance, no MR1W
     "g2pl-ro": _g2pl_ro,     # g-2PL + read-only FL expansion (future work)
+    "g2pl-adaptive": _g2pl_adaptive,  # adaptive window sizing (repro.adapt)
+    "hybrid": _hybrid,       # per-item single/grouped mode switching
+    "g2pl-spec": _g2pl_spec,  # clock-assisted speculative dispatch
     "c2pl": _c2pl,           # caching 2PL with callbacks (ablation A5)
     "2v2pl": _2v2pl,         # two-version 2PL, the §3.4 comparator (A7)
 }

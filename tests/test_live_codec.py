@@ -70,6 +70,7 @@ def _field_strategy(cls, field):
     """A value strategy matching one message field's real domain."""
     specials = {
         ("GShip", "fl_tail"): forward_lists,
+        ("SpecExtend", "fl"): forward_lists,
         ("ReaderRelease", "fl_from_writer"):
             st.one_of(st.none(), forward_lists),
         ("GShip", "release_to"):
@@ -114,7 +115,8 @@ def _field_strategy(cls, field):
     if name in ("reason",):
         return st.text(max_size=20)
     if name in ("committed", "final", "from_cache_grant", "carries_data",
-                "vote", "vote_request", "charge", "ack", "commit"):
+                "vote", "vote_request", "charge", "ack", "commit",
+                "accepted"):
         return st.booleans()
     if name in ("busy_txn", "client_id") and field.default is None:
         return st.one_of(st.none(), ids)
